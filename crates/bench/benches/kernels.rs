@@ -1,0 +1,136 @@
+//! Criterion benchmarks for the hot kernels of the RetroTurbo pipeline:
+//! LCM ODE integration, fingerprint emulation, waveform rendering, preamble
+//! search, online training, the K-branch DFE, and the Reed–Solomon codec.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use retroturbo_coding::RsCode;
+use retroturbo_core::training::{OfflineTraining, OnlineTrainer};
+use retroturbo_core::{Equalizer, Modulator, PhyConfig, PreambleDetector, TagModel};
+use retroturbo_dsp::noise::NoiseSource;
+use retroturbo_dsp::Signal;
+use retroturbo_lcm::dynamics::{simulate, LcState};
+use retroturbo_lcm::{FingerprintSet, LcParams};
+
+fn bench_cfg() -> PhyConfig {
+    let mut c = PhyConfig::default_8kbps();
+    c.preamble_slots = 24;
+    c.training_rounds = 8;
+    c
+}
+
+fn lcm_ode(c: &mut Criterion) {
+    let params = LcParams::default();
+    let drive: Vec<bool> = (0..4000).map(|i| (i / 20) % 3 == 0).collect();
+    let mut g = c.benchmark_group("lcm");
+    g.throughput(Throughput::Elements(drive.len() as u64));
+    g.bench_function("ode_simulate_100ms", |b| {
+        b.iter(|| simulate(&params, LcState::relaxed(), &drive, 25e-6))
+    });
+    g.finish();
+}
+
+fn fingerprint_emulation(c: &mut Criterion) {
+    let set = FingerprintSet::collect(&LcParams::default(), 8, 0.5e-3, 40_000.0);
+    let bits: Vec<bool> = (0..2000).map(|i| (i * 7) % 3 == 0).collect();
+    let mut g = c.benchmark_group("lcm");
+    g.throughput(Throughput::Elements(bits.len() as u64));
+    g.bench_function("fingerprint_emulate_1s", |b| b.iter(|| set.emulate_pixel(&bits)));
+    g.finish();
+}
+
+fn render(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let model = TagModel::nominal(&cfg, &LcParams::default());
+    let m = Modulator::new(cfg);
+    let bits: Vec<bool> = (0..1024).map(|i| i % 3 == 0).collect();
+    let frame = m.modulate(&bits);
+    let mut g = c.benchmark_group("phy");
+    g.throughput(Throughput::Elements(frame.levels.len() as u64));
+    g.bench_function("render_128B_frame", |b| b.iter(|| model.render_levels(&frame.levels)));
+    g.finish();
+}
+
+fn preamble_search(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let model = TagModel::nominal(&cfg, &LcParams::default());
+    let det = PreambleDetector::new(&cfg, &model);
+    let m = Modulator::new(cfg);
+    let frame = m.modulate(&vec![true; 64]);
+    let mut wave = vec![retroturbo_dsp::C64::new(-1.0, -1.0); 400];
+    wave.extend(model.render_levels(&frame.levels));
+    let mut ns = NoiseSource::new(1);
+    ns.add_awgn(&mut wave, 0.02);
+    let sig = Signal::new(wave, cfg.fs);
+    let mut g = c.benchmark_group("phy");
+    g.bench_function("preamble_search_500_offsets", |b| {
+        b.iter(|| det.detect_in(&sig, 0, 500))
+    });
+    g.finish();
+}
+
+fn online_training(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let params = LcParams::default();
+    let model = TagModel::nominal(&cfg, &params);
+    let offline =
+        OfflineTraining::collect(&cfg, &params, &OfflineTraining::default_variants(&params), 3);
+    let trainer = OnlineTrainer::new(cfg, &offline);
+    let mut levels = Modulator::preamble_levels(&cfg);
+    levels.extend(Modulator::training_levels(&cfg));
+    let rx = model.render_levels(&levels);
+    let mut g = c.benchmark_group("phy");
+    g.bench_function("online_training", |b| b.iter(|| trainer.train(&rx)));
+    g.finish();
+}
+
+fn dfe(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let model = TagModel::nominal(&cfg, &LcParams::default());
+    let m = Modulator::new(cfg);
+    let bits: Vec<bool> = (0..512).map(|i| (i * 11) % 3 == 0).collect();
+    let frame = m.modulate(&bits);
+    let mut wave = model.render_levels(&frame.levels);
+    let mut ns = NoiseSource::new(2);
+    ns.add_awgn(&mut wave, 0.01);
+    let known = frame.levels[..frame.payload_start()].to_vec();
+    let mut g = c.benchmark_group("phy");
+    g.throughput(Throughput::Elements(frame.payload_slots as u64));
+    for k in [1usize, 16] {
+        let eq = Equalizer::new(cfg).with_branches(k);
+        g.bench_function(format!("dfe_equalize_k{k}_128sym"), |b| {
+            b.iter(|| eq.equalize(&wave, &model, &known, frame.payload_slots))
+        });
+    }
+    g.finish();
+}
+
+fn reed_solomon(c: &mut Criterion) {
+    let rs = RsCode::new(255, 223);
+    let msg: Vec<u8> = (0..223).map(|i| (i * 37) as u8).collect();
+    let cw = rs.encode(&msg);
+    let mut corrupted = cw.clone();
+    for e in 0..16 {
+        corrupted[e * 13] ^= 0xA5;
+    }
+    let mut g = c.benchmark_group("coding");
+    g.throughput(Throughput::Bytes(255));
+    g.bench_function("rs_encode_255_223", |b| b.iter(|| rs.encode(&msg)));
+    g.bench_function("rs_decode_clean", |b| {
+        b.iter_batched(|| cw.clone(), |w| rs.decode(&w).unwrap(), BatchSize::SmallInput)
+    });
+    g.bench_function("rs_decode_16_errors", |b| {
+        b.iter_batched(
+            || corrupted.clone(),
+            |w| rs.decode(&w).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = lcm_ode, fingerprint_emulation, render, preamble_search, online_training, dfe, reed_solomon
+}
+criterion_main!(kernels);

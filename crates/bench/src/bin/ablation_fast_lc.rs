@@ -1,0 +1,21 @@
+//! Outlook (§1/§10): the DSM×PQAM design on faster liquid crystals
+//! (ferroelectric-class cells switch ~100× faster than the COTS shutter).
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::ablation::fast_lc_scaling;
+
+fn main() {
+    banner("ablation-fast-lc", "rate scaling with faster LC substrates");
+    let pts = fast_lc_scaling(&[1.0, 4.0, 10.0, 40.0, 100.0], 35.0, 1);
+    header(&["speedup", "T_us", "rate_kbps", "ber_at_35dB"]);
+    for p in &pts {
+        println!(
+            "{}\t{}\t{}\t{}",
+            fmt(p.speedup),
+            fmt(p.t_slot * 1e6),
+            fmt(p.rate_bps / 1e3),
+            fmt(p.ber)
+        );
+    }
+    eprintln!("# same modulation machinery; only the substrate constants change");
+}

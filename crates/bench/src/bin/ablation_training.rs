@@ -1,0 +1,14 @@
+//! Ablation: what each channel-training stage buys against a heterogeneous
+//! panel (nominal model → KL-mixture fit → + per-class refinement).
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::ablation::training_stages;
+
+fn main() {
+    banner("ablation-training", "training stages vs module heterogeneity (45 dB)");
+    let rows = training_stages(45.0, 6, 4);
+    header(&["stage", "ber"]);
+    for r in &rows {
+        println!("{}\t{}", r.stage, fmt(r.ber));
+    }
+}

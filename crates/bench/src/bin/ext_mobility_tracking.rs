@@ -1,0 +1,18 @@
+//! Extension (§8 "Mobility Support"): BER under in-packet roll drift with
+//! and without decision-directed channel tracking.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::mobility::drift_sweep;
+
+fn main() {
+    banner(
+        "ext-mobility",
+        "in-packet roll drift: static one-shot correction vs decision-directed tracking",
+    );
+    let pts = drift_sweep(&[0.0, 50.0, 100.0, 150.0, 250.0, 400.0], 40.0, 4, 24, 1);
+    header(&["roll_rate_dps", "mode", "ber"]);
+    for p in &pts {
+        println!("{}\t{}\t{}", fmt(p.roll_rate_dps), p.mode, fmt(p.ber));
+    }
+    eprintln!("# the paper leaves mobility as future work (§8); tracking is our implementation");
+}

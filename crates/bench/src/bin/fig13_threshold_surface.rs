@@ -1,0 +1,25 @@
+//! Regenerates Fig. 13: relative demodulation threshold over (L, P) per rate.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_core::perf_index::relative_threshold_db;
+use retroturbo_sim::experiments::thresholds::fig13_threshold_surface;
+
+fn main() {
+    banner("fig13", "demodulation-threshold surface over DSM order × PQAM order");
+    let rates = [1_000.0, 4_000.0, 8_000.0, 16_000.0];
+    let pts = fig13_threshold_surface(&rates, 8, 2, 1);
+    let d_ref = pts.iter().map(|p| p.d).fold(f64::MIN, f64::max);
+    header(&["rate_kbps", "L", "P", "T_ms", "D", "rel_threshold_dB"]);
+    for p in &pts {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            fmt(p.rate_bps / 1e3),
+            p.l,
+            p.p,
+            fmt(p.t_slot * 1e3),
+            fmt(p.d),
+            fmt(relative_threshold_db(p.d, d_ref))
+        );
+    }
+    eprintln!("# the (L,P) minimizing the threshold at each rate is the Fig.13 valley");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 16d: BER under dark/night/day ambient light (expect
+//! flat — ambient is rejected by the passband front end).
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::{field::fig16d_ber_vs_ambient, Effort};
+
+fn main() {
+    banner("fig16d", "BER vs ambient light level");
+    let pts = fig16d_ber_vs_ambient(Effort::from_env(), 1);
+    header(&["lux", "condition", "snr_dB", "ber"]);
+    for p in &pts {
+        println!("{}\t{}\t{}\t{}", fmt(p.x), p.label, fmt(p.snr_db), fmt(p.ber));
+    }
+    eprintln!("# paper: consistent behaviour regardless of illumination");
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 17a: DFE branch count (K = 1 / 16 / Viterbi) vs distance.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::{field::fig17a_dfe_branches, Effort};
+
+fn main() {
+    banner(
+        "fig17a",
+        "DFE branches: K=16 near-optimal, K=1 loses ~10% of range (paper)",
+    );
+    let pts = fig17a_dfe_branches(&[5.0, 6.0, 6.5, 7.0, 7.5, 8.0], Effort::from_env(), 1);
+    header(&["distance_m", "equalizer", "snr_dB", "ber"]);
+    for p in &pts {
+        println!("{}\t{}\t{}\t{}", fmt(p.x), p.label, fmt(p.snr_db), fmt(p.ber));
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Fig. 18a: emulated BER vs SNR per modulation order/rate.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::network::{fig18a_ber_vs_snr, thresholds_at_one_percent};
+use retroturbo_sim::experiments::Effort;
+
+fn main() {
+    banner("fig18a", "BER vs SNR (paper: 32 kbps at ~55 dB, 1 kbps at ~-5 dB)");
+    let effort = Effort::from_env();
+    let (n_pkts, bytes) = match effort {
+        Effort::Quick => (4, 32),
+        Effort::Full => (20, 128),
+    };
+    let snrs: Vec<f64> = (-2..=13).map(|k| k as f64 * 4.0 - 4.0).collect(); // −12..48 step 4
+    let mut snrs = snrs;
+    snrs.extend([52.0, 56.0, 60.0]);
+    let pts = fig18a_ber_vs_snr(&snrs, n_pkts, bytes, 1);
+    header(&["rate", "snr_dB", "ber"]);
+    for p in &pts {
+        println!("{}\t{}\t{}", p.label, fmt(p.snr_db), fmt(p.ber));
+    }
+    eprintln!("# 1%-BER thresholds:");
+    for (label, th) in thresholds_at_one_percent(&pts) {
+        match th {
+            Some(t) => eprintln!("#   {label}: {:.1} dB", t),
+            None => eprintln!("#   {label}: not reached in sweep"),
+        }
+    }
+}

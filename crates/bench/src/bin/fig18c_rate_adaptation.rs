@@ -1,0 +1,22 @@
+//! Regenerates Fig. 18c: rate-adaptive MAC vs fixed-rate baseline.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::network::fig18c_rate_adaptation;
+
+fn main() {
+    banner(
+        "fig18c",
+        "rate adaptation gain vs tags (paper: 1.2x @ 4 tags, 3.7x @ 100 tags)",
+    );
+    let pts = fig18c_rate_adaptation(&[1, 2, 4, 10, 20, 50, 100], 100, 1);
+    header(&["n_tags", "adaptive_kbps", "baseline_kbps", "gain"]);
+    for p in &pts {
+        println!(
+            "{}\t{}\t{}\t{}",
+            p.n_tags,
+            fmt(p.adaptive_bps / 1e3),
+            fmt(p.baseline_bps / 1e3),
+            fmt(p.gain)
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the headline claim: 32x experimental / 128x emulated rate
+//! gain over the OOK baseline.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::network::headline_rate_gain;
+
+fn main() {
+    banner("headline", "rate gain over the trend-OOK baseline");
+    let g = headline_rate_gain();
+    header(&["scheme", "rate_bps", "gain_vs_ook"]);
+    println!("trend-OOK baseline\t{}\t1", fmt(g.ook_bps));
+    println!("RetroTurbo (experimental)\t{}\t{}", fmt(g.experimental_bps), fmt(g.experimental_gain));
+    println!("RetroTurbo (emulation)\t{}\t{}", fmt(g.emulated_bps), fmt(g.emulated_gain));
+}

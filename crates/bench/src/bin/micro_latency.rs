@@ -1,0 +1,38 @@
+//! Regenerates the §7.2.2 latency microbenchmark: airtime decomposition and
+//! processing wall-clock for 4 and 8 kbps packets.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_core::PhyConfig;
+use retroturbo_sim::experiments::microbench::latency_report;
+
+fn main() {
+    banner("micro-latency", "per-packet latency decomposition (128-byte packets)");
+    header(&[
+        "config",
+        "preamble_ms",
+        "training_ms",
+        "payload_ms",
+        "detect_cpu_ms",
+        "train_cpu_ms",
+        "demod_cpu_ms",
+        "real_time",
+    ]);
+    for (label, cfg) in [
+        ("4kbps", PhyConfig::default_4kbps()),
+        ("8kbps", PhyConfig::default_8kbps()),
+    ] {
+        let r = latency_report(label, cfg, 128, 1);
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.label,
+            fmt(r.preamble_air_s * 1e3),
+            fmt(r.training_air_s * 1e3),
+            fmt(r.payload_air_s * 1e3),
+            fmt(r.detect_cpu_s * 1e3),
+            fmt(r.train_cpu_s * 1e3),
+            fmt(r.demod_cpu_s * 1e3),
+            r.real_time
+        );
+    }
+    eprintln!("# paper: 8 kbps payload 128 ms, demod 90 ms (real-time pipelined)");
+}

@@ -1,0 +1,13 @@
+//! Regenerates the §7.2.2 power microbenchmark: the tag energy model.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::microbench::power_table;
+
+fn main() {
+    banner("micro-power", "tag power (paper: 0.8 mW at both 4 and 8 kbps)");
+    header(&["config", "power_mW"]);
+    for r in power_table() {
+        println!("{}\t{}", r.label, fmt(r.power_w * 1e3));
+    }
+    eprintln!("# rate changes PQAM order, not firing rate => power is rate-independent");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Tab. 2: LCM emulation relative error vs m-sequence order V.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::emu_error::tab2_mls_error;
+
+fn main() {
+    banner("tab2", "emulation error vs MLS order (reference V = 17)");
+    let rows = tab2_mls_error(&[4, 6, 8, 10, 12, 14, 16], 17, 20, 80, 1);
+    header(&["V", "max_rel_err", "avg_rel_err"]);
+    for r in rows {
+        println!("{}\t{}\t{}", r.v, fmt(r.max), fmt(r.avg));
+    }
+    eprintln!("# paper Tab.2: max 59%→0.7%, avg 15%→0.1% from V=4 to V=16");
+}

@@ -1,0 +1,23 @@
+//! Regenerates Tab. 3: optimal (L, P, T) per rate with performance index D
+//! and relative demodulation threshold.
+
+use retroturbo_bench::{banner, fmt, header};
+use retroturbo_sim::experiments::thresholds::tab3_optimal_params;
+
+fn main() {
+    banner("tab3", "optimal parameters and relative thresholds per rate");
+    let rows = tab3_optimal_params(&[1_000.0, 4_000.0, 8_000.0, 12_000.0, 16_000.0], 8, 3, 1);
+    header(&["rate_kbps", "L", "P", "T_ms", "D", "threshold_dB_rel_1kbps"]);
+    for r in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            fmt(r.rate_bps / 1e3),
+            r.cfg.l_order,
+            r.cfg.pqam_order,
+            fmt(r.cfg.t_slot * 1e3),
+            fmt(r.d),
+            fmt(r.threshold_db)
+        );
+    }
+    eprintln!("# paper Tab.3 thresholds: 0 / 20 / 28 / 31 / 33 dB for 1/4/8/12/16 kbps");
+}

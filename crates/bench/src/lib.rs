@@ -1,0 +1,53 @@
+//! # retroturbo-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper
+//! (`src/bin/…`, printing the same rows/series the paper reports, TSV to
+//! stdout) and Criterion benches for the hot kernels (`benches/`).
+//!
+//! Binaries default to a quick profile; set `RETRO_FULL=1` for the
+//! paper-scale protocol (30 × 128-byte packets per point, §7.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Print a TSV header line.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Format a float compactly for TSV output.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 0.01 && x.abs() < 1e6 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+/// Print one experiment banner with the paper artifact it regenerates.
+pub fn banner(id: &str, what: &str) {
+    eprintln!("# {id}: {what}");
+    eprintln!(
+        "# profile: {} (set RETRO_FULL=1 for the paper-scale protocol)",
+        if std::env::var("RETRO_FULL").map(|v| !v.is_empty() && v != "0").unwrap_or(false) {
+            "FULL"
+        } else {
+            "quick"
+        }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234), "0.1234");
+        assert!(fmt(1e-7).contains('e'));
+        assert!(fmt(1e9).contains('e'));
+    }
+}

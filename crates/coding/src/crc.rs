@@ -1,0 +1,110 @@
+//! CRC checks for frame integrity.
+//!
+//! The MAC triggers retransmission on CRC failure (§4.4); frames carry a
+//! CRC-16/CCITT-FALSE and the test vectors below pin both algorithms to
+//! their published check values.
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection, no xorout.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3): poly 0xEDB88320 reflected, init 0xFFFFFFFF, final
+/// xor 0xFFFFFFFF.
+pub fn crc32_ieee(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Append a CRC-16 (big-endian) to a payload.
+pub fn frame_with_crc16(payload: &[u8]) -> Vec<u8> {
+    let mut out = payload.to_vec();
+    let c = crc16_ccitt(payload);
+    out.push((c >> 8) as u8);
+    out.push(c as u8);
+    out
+}
+
+/// Verify and strip a trailing CRC-16; `None` if the check fails or the
+/// frame is too short.
+pub fn check_crc16(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < 2 {
+        return None;
+    }
+    let (payload, tail) = frame.split_at(frame.len() - 2);
+    let c = crc16_ccitt(payload);
+    if tail[0] == (c >> 8) as u8 && tail[1] == c as u8 {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_check_value() {
+        // Published check value of CRC-16/CCITT-FALSE over "123456789".
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        assert_eq!(crc32_ieee(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(crc16_ccitt(&[]), 0xFFFF);
+        assert_eq!(crc32_ieee(&[]), 0);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = b"retroturbo frame";
+        let framed = frame_with_crc16(payload);
+        assert_eq!(framed.len(), payload.len() + 2);
+        assert_eq!(check_crc16(&framed).unwrap(), payload);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let framed = frame_with_crc16(b"payload data here");
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut corrupted = framed.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    check_crc16(&corrupted).is_none(),
+                    "missed flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert!(check_crc16(&[]).is_none());
+        assert!(check_crc16(&[0x12]).is_none());
+    }
+}

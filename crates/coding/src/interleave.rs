@@ -1,0 +1,85 @@
+//! Block interleaver.
+//!
+//! DSM symbol errors are bursty (one wrong DFE decision propagates across a
+//! few succeeding symbols), so packets interleave coded symbols row-by-row /
+//! column-by-column to spread a burst across multiple RS codewords.
+
+/// Interleave `data` as a rows×cols block: written row-major, read
+/// column-major. Input shorter than rows·cols is padded with zeros; the
+/// output always has rows·cols elements.
+pub fn interleave(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
+    assert!(rows > 0 && cols > 0, "interleave: degenerate shape");
+    let mut grid = vec![0u8; rows * cols];
+    grid[..data.len().min(rows * cols)]
+        .copy_from_slice(&data[..data.len().min(rows * cols)]);
+    let mut out = Vec::with_capacity(rows * cols);
+    for c in 0..cols {
+        for r in 0..rows {
+            out.push(grid[r * cols + c]);
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`] with the same shape.
+pub fn deinterleave(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
+    assert!(rows > 0 && cols > 0, "deinterleave: degenerate shape");
+    assert_eq!(data.len(), rows * cols, "deinterleave: length must be rows·cols");
+    let mut out = vec![0u8; rows * cols];
+    let mut it = data.iter();
+    for c in 0..cols {
+        for r in 0..rows {
+            out[r * cols + c] = *it.next().unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..24).collect();
+        let il = interleave(&data, 4, 6);
+        let de = deinterleave(&il, 4, 6);
+        assert_eq!(de, data);
+    }
+
+    #[test]
+    fn spreads_bursts() {
+        // A burst of 4 consecutive interleaved symbols must land in 4
+        // different rows after deinterleaving (rows = 4).
+        let rows = 4;
+        let cols = 8;
+        let data: Vec<u8> = vec![0; rows * cols];
+        let mut il = interleave(&data, rows, cols);
+        for i in 8..12 {
+            il[i] = 0xFF; // burst
+        }
+        let de = deinterleave(&il, rows, cols);
+        let rows_hit: std::collections::HashSet<usize> = de
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == 0xFF)
+            .map(|(i, _)| i / cols)
+            .collect();
+        assert_eq!(rows_hit.len(), 4, "burst not spread: {rows_hit:?}");
+    }
+
+    #[test]
+    fn pads_short_input() {
+        let il = interleave(&[1, 2, 3], 2, 3);
+        assert_eq!(il.len(), 6);
+        let de = deinterleave(&il, 2, 3);
+        assert_eq!(&de[..3], &[1, 2, 3]);
+        assert_eq!(&de[3..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // 2×3 written [1,2,3 / 4,5,6], read by columns: [1,4,2,5,3,6].
+        assert_eq!(interleave(&[1, 2, 3, 4, 5, 6], 2, 3), vec![1, 4, 2, 5, 3, 6]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # retroturbo-coding
+//!
+//! Channel-coding substrate: GF(2⁸) arithmetic, systematic Reed–Solomon
+//! encoding with a Berlekamp–Massey/Chien/Forney decoder (the Fig. 18b
+//! coding-gain experiments), CRC-16/32 frame checks (ARQ trigger in §4.4),
+//! an additive scrambler (DC-stress avoidance, §4.3.1 footnote), Gray
+//! mapping for PQAM levels, and a block interleaver for burst spreading.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod gf256;
+pub mod gray;
+pub mod interleave;
+pub mod rs;
+pub mod scramble;
+
+pub use crc::{check_crc16, crc16_ccitt, crc32_ieee, frame_with_crc16};
+pub use gf256::Gf256;
+pub use gray::{bits_to_bytes, bytes_to_bits, from_gray, to_gray};
+pub use rs::{RsCode, RsError};
+pub use scramble::Scrambler;

@@ -1,0 +1,136 @@
+//! Additive (synchronous) data scrambler.
+//!
+//! The preamble-correction math of §4.3.1 assumes the transmitter avoids DC
+//! stress ("the transmitter's DC stress should be avoided with appropriate
+//! data scrambler applied", footnote 4): long runs of identical symbols both
+//! stress the LC cells and starve the equalizer of transitions. We use the
+//! standard x⁷ + x⁴ + 1 additive scrambler (802.11-style); applying it twice
+//! with the same seed is the identity.
+
+/// x⁷ + x⁴ + 1 additive scrambler state.
+#[derive(Debug, Clone, Copy)]
+pub struct Scrambler {
+    state: u8, // 7 bits
+}
+
+impl Scrambler {
+    /// Create with a nonzero 7-bit seed.
+    ///
+    /// # Panics
+    /// Panics if `seed & 0x7F == 0` (the all-zero state is degenerate).
+    pub fn new(seed: u8) -> Self {
+        assert!(seed & 0x7F != 0, "Scrambler: seed must be nonzero in 7 bits");
+        Self { state: seed & 0x7F }
+    }
+
+    /// Next keystream bit.
+    #[inline]
+    fn next_bit(&mut self) -> bool {
+        let b = ((self.state >> 6) ^ (self.state >> 3)) & 1;
+        self.state = ((self.state << 1) | b) & 0x7F;
+        b == 1
+    }
+
+    /// Scramble (or descramble — same operation) a bit buffer in place.
+    pub fn scramble_bits(&mut self, bits: &mut [bool]) {
+        for b in bits {
+            *b ^= self.next_bit();
+        }
+    }
+
+    /// Scramble a byte buffer in place, MSB-first within each byte.
+    pub fn scramble_bytes(&mut self, bytes: &mut [u8]) {
+        for byte in bytes {
+            let mut ks = 0u8;
+            for _ in 0..8 {
+                ks = (ks << 1) | self.next_bit() as u8;
+            }
+            *byte ^= ks;
+        }
+    }
+}
+
+/// Longest run of identical values in a bit slice (0 for empty input).
+pub fn longest_run(bits: &[bool]) -> usize {
+    let mut best = 0usize;
+    let mut cur = 0usize;
+    let mut prev: Option<bool> = None;
+    for &b in bits {
+        if Some(b) == prev {
+            cur += 1;
+        } else {
+            cur = 1;
+            prev = Some(b);
+        }
+        best = best.max(cur);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn involution_bits() {
+        let mut data: Vec<bool> = (0..1000).map(|i| i % 5 == 0).collect();
+        let orig = data.clone();
+        Scrambler::new(0x5B).scramble_bits(&mut data);
+        assert_ne!(data, orig, "scrambling must change the data");
+        Scrambler::new(0x5B).scramble_bits(&mut data);
+        assert_eq!(data, orig, "descrambling must restore the data");
+    }
+
+    #[test]
+    fn involution_bytes() {
+        let mut data: Vec<u8> = (0..=255).collect();
+        let orig = data.clone();
+        Scrambler::new(1).scramble_bytes(&mut data);
+        Scrambler::new(1).scramble_bytes(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn breaks_long_runs() {
+        // All-zero input (worst DC stress) must come out with short runs.
+        let mut bits = vec![false; 4096];
+        Scrambler::new(0x7F).scramble_bits(&mut bits);
+        let run = longest_run(&bits);
+        assert!(run <= 16, "longest run after scrambling: {run}");
+        // And roughly balanced.
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!((ones as f64 / 4096.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn keystream_period_is_127() {
+        // Maximal LFSR of order 7 ⇒ keystream repeats with period 127.
+        let mut s = Scrambler::new(0x33);
+        let ks: Vec<bool> = (0..254).map(|_| s.next_bit()).collect();
+        assert_eq!(&ks[..127], &ks[127..]);
+        // ...and not with any shorter divisor-free prefix (spot-check 63).
+        assert_ne!(&ks[..63], &ks[63..126]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = vec![false; 64];
+        let mut b = vec![false; 64];
+        Scrambler::new(0x11).scramble_bits(&mut a);
+        Scrambler::new(0x2F).scramble_bits(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be nonzero")]
+    fn zero_seed_rejected() {
+        let _ = Scrambler::new(0x80); // 0 in the low 7 bits
+    }
+
+    #[test]
+    fn longest_run_basics() {
+        assert_eq!(longest_run(&[]), 0);
+        assert_eq!(longest_run(&[true]), 1);
+        assert_eq!(longest_run(&[true, true, false, true, true, true]), 3);
+    }
+}

@@ -1,0 +1,250 @@
+//! Status-quo VLBC baselines: trend-based OOK and multi-pixel PAM (§2.1).
+//!
+//! These are the schemes RetroTurbo is measured against:
+//!
+//! * **OOK** (PassiveVLC-style): the whole panel toggles together; each bit
+//!   occupies a full charge/discharge period (W = τ₁ + τ₀ ≈ 4 ms ⇒ 250 bps)
+//!   and is detected from the signal *trend* (Manchester halves), because
+//!   the LC never produces clean high/low pulses. The paper's headline 32×
+//!   (8 kbps) and 128× (32 kbps) gains are relative to this baseline.
+//! * **PAM** (pixelated VLC backscatter): binary-weighted pixels hold one of
+//!   2^b amplitude levels per symbol period, trading SNR for log₂-level
+//!   bits — still throttled by the discharge time.
+//!
+//! Both use only the I polarization channel, as the original systems did.
+
+use retroturbo_dsp::{C64, Signal};
+use retroturbo_lcm::panel::DriveCommand;
+
+/// Trend-based OOK baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct OokPhy {
+    /// Bit period, seconds (default 4 ms: τ₁ + τ₀).
+    pub bit_secs: f64,
+    /// Baseband sample rate, Hz.
+    pub fs: f64,
+}
+
+impl Default for OokPhy {
+    fn default() -> Self {
+        Self {
+            bit_secs: 4e-3,
+            fs: 40_000.0,
+        }
+    }
+}
+
+impl OokPhy {
+    /// Data rate in bit/s.
+    pub fn data_rate(&self) -> f64 {
+        1.0 / self.bit_secs
+    }
+
+    /// Samples per bit.
+    pub fn samples_per_bit(&self) -> usize {
+        (self.bit_secs * self.fs).round() as usize
+    }
+
+    /// Drive commands for a panel whose every module toggles together
+    /// (Manchester halves: bit 1 = off→on, bit 0 = on→off), for a panel with
+    /// `modules` modules of `max_level`.
+    pub fn drive(&self, bits: &[bool], modules: usize, max_level: usize) -> Vec<DriveCommand> {
+        let spb = self.samples_per_bit();
+        let half = spb / 2;
+        let mut cmds = Vec::with_capacity(bits.len() * 2 * modules);
+        for (i, &b) in bits.iter().enumerate() {
+            let (first, second) = if b { (0, max_level) } else { (max_level, 0) };
+            for m in 0..modules {
+                cmds.push(DriveCommand { sample: i * spb, module: m, level: first });
+                cmds.push(DriveCommand { sample: i * spb + half, module: m, level: second });
+            }
+        }
+        cmds
+    }
+
+    /// Demodulate by trend: sign of (second-half mean − first-half mean) of
+    /// the real (I) component in each bit window.
+    pub fn demodulate(&self, rx: &Signal, n_bits: usize) -> Vec<bool> {
+        let spb = self.samples_per_bit();
+        let half = spb / 2;
+        (0..n_bits)
+            .map(|i| {
+                let w = rx.window(i * spb, spb);
+                let a: f64 = w[..half].iter().map(|z| z.re).sum::<f64>() / half as f64;
+                let b: f64 = w[half..].iter().map(|z| z.re).sum::<f64>() / (spb - half) as f64;
+                b > a
+            })
+            .collect()
+    }
+}
+
+/// Multi-pixel PAM baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct PamPhy {
+    /// Symbol period, seconds. Must allow a full *discharge* settle —
+    /// down-transitions take ≈ 4 ms, so the default is 5 ms; shorter
+    /// periods leave level-dependent ISI (exactly the bottleneck DSM
+    /// removes).
+    pub symbol_secs: f64,
+    /// Baseband sample rate, Hz.
+    pub fs: f64,
+    /// Bits per symbol (pixels in the binary-weighted bank).
+    pub bits_per_symbol: usize,
+}
+
+impl Default for PamPhy {
+    fn default() -> Self {
+        Self {
+            symbol_secs: 5e-3,
+            fs: 40_000.0,
+            bits_per_symbol: 4,
+        }
+    }
+}
+
+impl PamPhy {
+    /// Data rate in bit/s.
+    pub fn data_rate(&self) -> f64 {
+        self.bits_per_symbol as f64 / self.symbol_secs
+    }
+
+    /// Samples per symbol.
+    pub fn samples_per_symbol(&self) -> usize {
+        (self.symbol_secs * self.fs).round() as usize
+    }
+
+    /// Levels (2^bits).
+    pub fn levels(&self) -> usize {
+        1 << self.bits_per_symbol
+    }
+
+    /// Map bits to a level sequence (plain binary, MSB first per symbol).
+    pub fn map_levels(&self, bits: &[bool]) -> Vec<usize> {
+        let bps = self.bits_per_symbol;
+        bits.chunks(bps)
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .fold(0usize, |acc, (k, &b)| acc | ((b as usize) << (bps - 1 - k)))
+            })
+            .collect()
+    }
+
+    /// Drive commands for a single `bits_per_symbol`-bit module (module 0).
+    pub fn drive(&self, bits: &[bool]) -> Vec<DriveCommand> {
+        let sps = self.samples_per_symbol();
+        self.map_levels(bits)
+            .iter()
+            .enumerate()
+            .map(|(i, &lev)| DriveCommand { sample: i * sps, module: 0, level: lev })
+            .collect()
+    }
+
+    /// Demodulate by averaging the settled tail of each symbol window and
+    /// quantizing to the nearest level. `swing` is the full-scale amplitude
+    /// (contrast span) seen at the receiver; `rest` the fully-discharged
+    /// level.
+    pub fn demodulate(&self, rx: &Signal, n_symbols: usize, rest: C64, swing: f64) -> Vec<usize> {
+        let sps = self.samples_per_symbol();
+        let tail = sps / 4; // settled quarter
+        let lmax = (self.levels() - 1) as f64;
+        (0..n_symbols)
+            .map(|i| {
+                let w = rx.window(i * sps + sps - tail, tail);
+                let mean: f64 = w.iter().map(|z| (*z - rest).re).sum::<f64>() / tail as f64;
+                ((mean / swing * lmax).round().clamp(0.0, lmax)) as usize
+            })
+            .collect()
+    }
+
+    /// Levels back to bits.
+    pub fn unmap_levels(&self, levels: &[usize], n_bits: usize) -> Vec<bool> {
+        let bps = self.bits_per_symbol;
+        let mut out = Vec::with_capacity(levels.len() * bps);
+        for &l in levels {
+            for k in (0..bps).rev() {
+                out.push((l >> k) & 1 == 1);
+            }
+        }
+        out.truncate(n_bits);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroturbo_dsp::noise::NoiseSource;
+    use retroturbo_lcm::{Heterogeneity, LcParams, Panel};
+
+    fn ook_link(bits: &[bool], noise: f64, seed: u64) -> Vec<bool> {
+        let ook = OokPhy::default();
+        let mut panel = Panel::retroturbo(1, 1, LcParams::default(), Heterogeneity::none(), 0);
+        let cmds = ook.drive(bits, 1, 1);
+        let mut wave = panel.simulate(&cmds, bits.len() * ook.samples_per_bit(), ook.fs);
+        if noise > 0.0 {
+            let mut ns = NoiseSource::new(seed);
+            ns.add_awgn(wave.samples_mut(), noise);
+        }
+        ook.demodulate(&wave, bits.len())
+    }
+
+    #[test]
+    fn ook_rate_is_250bps() {
+        assert!((OokPhy::default().data_rate() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ook_round_trip_clean() {
+        let bits: Vec<bool> = (0..32).map(|i| (i * 5) % 3 == 0).collect();
+        assert_eq!(ook_link(&bits, 0.0, 0), bits);
+    }
+
+    #[test]
+    fn ook_round_trip_noisy() {
+        // OOK integrates 80 samples/half-bit: very robust to noise.
+        let bits: Vec<bool> = (0..32).map(|i| i % 2 == 1).collect();
+        assert_eq!(ook_link(&bits, 0.5, 7), bits);
+    }
+
+    #[test]
+    fn pam_round_trip() {
+        let pam = PamPhy::default();
+        let mut panel = Panel::retroturbo(1, 4, LcParams::default(), Heterogeneity::none(), 0);
+        let bits: Vec<bool> = (0..64).map(|i| (i * 7) % 4 < 2).collect();
+        let cmds = pam.drive(&bits);
+        let n_sym = 16;
+        let wave = panel.simulate(&cmds, n_sym * pam.samples_per_symbol(), pam.fs);
+        // Panel I channel swings from −1 (rest) to +1: swing 2.
+        let levels = pam.demodulate(&wave, n_sym, C64::new(-1.0, -1.0), 2.0);
+        assert_eq!(pam.unmap_levels(&levels, bits.len()), bits);
+    }
+
+    #[test]
+    fn pam_rate_is_800bps() {
+        assert!((PamPhy::default().data_rate() - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pam_short_symbol_has_isi_floor() {
+        // At a 3 ms symbol the discharge cannot finish: level-dependent ISI
+        // shows up even without noise — the status-quo bottleneck DSM fixes.
+        let pam = PamPhy { symbol_secs: 3e-3, ..Default::default() };
+        let mut panel = Panel::retroturbo(1, 4, LcParams::default(), Heterogeneity::none(), 0);
+        let bits: Vec<bool> = (0..96).map(|i| (i * 11) % 5 < 2).collect();
+        let n_sym = bits.len() / 4;
+        let wave = panel.simulate(&pam.drive(&bits), n_sym * pam.samples_per_symbol(), pam.fs);
+        let levels = pam.demodulate(&wave, n_sym, C64::new(-1.0, -1.0), 2.0);
+        let dec = pam.unmap_levels(&levels, bits.len());
+        let errs = dec.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert!(errs > 0, "expected an ISI floor at 3 ms symbols");
+    }
+
+    #[test]
+    fn pam_level_mapping_round_trip() {
+        let pam = PamPhy::default();
+        let bits: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        let lv = pam.map_levels(&bits);
+        assert_eq!(pam.unmap_levels(&lv, 32), bits);
+    }
+}

@@ -1,0 +1,215 @@
+//! Basic DSM (§4.1.1): the stepping-stone scheme between OOK and the
+//! overlapped DSM the paper ships.
+//!
+//! L pixels fire exclusively in staggered τ₁ windows inside one symbol; a
+//! trailing τ₀ guard lets every pixel relax before the next symbol, so
+//! symbols are ISI-free and each bit is detected independently from the fast
+//! edge (or its absence) in its own window. The symbol lasts `L·τ₁ + τ₀`,
+//! giving the paper's rate formula `R = L/(L·τ₁ + τ₀)` — the τ₀ overhead
+//! that the overlapped design of §4.1.2 then eliminates.
+
+use retroturbo_dsp::Signal;
+use retroturbo_lcm::dynamics::{simulate, LcParams, LcState};
+use retroturbo_lcm::panel::DriveCommand;
+
+/// Basic DSM PHY over the I-channel modules of a panel.
+#[derive(Debug, Clone, Copy)]
+pub struct BasicDsm {
+    /// DSM order L: pixels (= bits) per symbol.
+    pub l: usize,
+    /// Fast-edge window τ₁, seconds.
+    pub tau1: f64,
+    /// Guard (discharge) time τ₀ appended per symbol, seconds.
+    pub tau0: f64,
+    /// Baseband sample rate, Hz.
+    pub fs: f64,
+}
+
+impl Default for BasicDsm {
+    /// The paper's example point: L = 8, τ₁ = 0.5 ms, τ₀ = 3.5 ms
+    /// ⇒ 8 bits / 7.5 ms ≈ 1.07 kbit/s.
+    fn default() -> Self {
+        Self {
+            l: 8,
+            tau1: 0.5e-3,
+            tau0: 3.5e-3,
+            fs: 40_000.0,
+        }
+    }
+}
+
+impl BasicDsm {
+    /// Data rate `L / (L·τ₁ + τ₀)` in bit/s.
+    pub fn data_rate(&self) -> f64 {
+        self.l as f64 / (self.l as f64 * self.tau1 + self.tau0)
+    }
+
+    /// Samples per τ₁ window.
+    pub fn window_samples(&self) -> usize {
+        (self.tau1 * self.fs).round() as usize
+    }
+
+    /// Samples per whole symbol (L windows + guard).
+    pub fn symbol_samples(&self) -> usize {
+        self.l * self.window_samples() + (self.tau0 * self.fs).round() as usize
+    }
+
+    /// Drive commands for a bit sequence on a panel with at least L
+    /// I-modules (modules `0..l`): pixel k charges during window k of its
+    /// symbol iff its bit is set, then discharges through the guard.
+    ///
+    /// # Panics
+    /// Panics if `bits.len()` is not a multiple of L.
+    pub fn drive(&self, bits: &[bool]) -> Vec<DriveCommand> {
+        assert_eq!(bits.len() % self.l, 0, "BasicDsm: bits must fill whole symbols");
+        let win = self.window_samples();
+        let sym = self.symbol_samples();
+        let mut cmds = Vec::new();
+        for (s, chunk) in bits.chunks(self.l).enumerate() {
+            for (k, &b) in chunk.iter().enumerate() {
+                if b {
+                    cmds.push(DriveCommand {
+                        sample: s * sym + k * win,
+                        module: k,
+                        level: 1,
+                    });
+                    cmds.push(DriveCommand {
+                        sample: s * sym + (k + 1) * win,
+                        module: k,
+                        level: 0,
+                    });
+                }
+            }
+        }
+        cmds.sort_by_key(|c| c.sample);
+        cmds
+    }
+
+    /// The unit-pixel contrast reference: fired for one τ₁ window at t = 0,
+    /// then discharging for the rest of the symbol (length
+    /// [`Self::symbol_samples`]).
+    pub fn reference_pulse(&self, params: &LcParams) -> Vec<f64> {
+        let win = self.window_samples();
+        let n = self.symbol_samples();
+        let mut drive = vec![true; win];
+        drive.extend(vec![false; n - win]);
+        simulate(params, LcState::relaxed(), &drive, 1.0 / self.fs)
+    }
+
+    /// Demodulate with decision feedback against the nominal reference
+    /// pulse: bits are decided in window order; each window's expected
+    /// waveform under "fired"/"not fired" is the superposition of the
+    /// already-decided pixels' pulse tails plus the candidate, and the
+    /// closer hypothesis wins. A raw slope detector cannot separate a fast
+    /// edge from the superimposed discharges of earlier pixels (the paper's
+    /// "1/L signal strength per bit" problem); the reference-based detector
+    /// can.
+    pub fn demodulate(&self, rx: &Signal, n_bits: usize) -> Vec<bool> {
+        self.demodulate_with(rx, n_bits, &LcParams::default())
+    }
+
+    /// [`Self::demodulate`] with explicit LC reference parameters.
+    pub fn demodulate_with(&self, rx: &Signal, n_bits: usize, params: &LcParams) -> Vec<bool> {
+        let win = self.window_samples();
+        let sym = self.symbol_samples();
+        let pulse = self.reference_pulse(params);
+        let scale = 1.0 / self.l as f64;
+        let mut out = Vec::with_capacity(n_bits);
+        let mut decided: Vec<bool> = Vec::with_capacity(self.l);
+        for i in 0..n_bits {
+            let s = i / self.l;
+            let k = i % self.l;
+            if k == 0 {
+                decided.clear();
+            }
+            let start = s * sym + k * win;
+            let w = rx.window(start, win);
+            let mut cost0 = 0.0;
+            let mut cost1 = 0.0;
+            for t in 0..win {
+                // Expected contribution of already-decided pixels of this
+                // symbol (pixel j's pulse is (k−j) windows old) plus the
+                // rest level of everything else.
+                let mut known = 0.0;
+                for (j, &b) in decided.iter().enumerate() {
+                    known += if b { pulse[(k - j) * win + t] } else { -1.0 };
+                }
+                known += -((self.l - k) as f64 - 1.0); // pixels k+1.. at rest
+                let h0 = scale * (known - 1.0); // pixel k not fired
+                let h1 = scale * (known + pulse[t]); // pixel k fired now
+                let x = w[t].re;
+                cost0 += (x - h0) * (x - h0);
+                cost1 += (x - h1) * (x - h1);
+            }
+            let bit = cost1 < cost0;
+            decided.push(bit);
+            out.push(bit);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroturbo_dsp::noise::NoiseSource;
+    use retroturbo_lcm::{Heterogeneity, LcParams, Panel};
+
+    fn link(scheme: &BasicDsm, bits: &[bool], noise: f64, seed: u64) -> Vec<bool> {
+        let mut panel = Panel::retroturbo(
+            scheme.l,
+            1,
+            LcParams::default(),
+            Heterogeneity::none(),
+            0,
+        );
+        let n = bits.len() / scheme.l * scheme.symbol_samples();
+        let mut wave = panel.simulate(&scheme.drive(bits), n, scheme.fs);
+        if noise > 0.0 {
+            NoiseSource::new(seed).add_awgn(wave.samples_mut(), noise);
+        }
+        scheme.demodulate(&wave, bits.len())
+    }
+
+    #[test]
+    fn rate_formula_matches_paper() {
+        // L = 8, τ₁ = 0.5 ms, τ₀ = 3.5 ms ⇒ 8/7.5 ms ≈ 1.067 kbit/s.
+        let s = BasicDsm::default();
+        assert!((s.data_rate() - 8.0 / 7.5e-3).abs() < 1e-9);
+        // Rate converges to 1/τ₁ for large L (the paper's limit argument).
+        let big = BasicDsm { l: 64, ..s };
+        assert!(big.data_rate() > 0.85 / s.tau1);
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let s = BasicDsm { l: 4, ..Default::default() };
+        let bits: Vec<bool> = (0..24).map(|i| (i * 5) % 3 == 0).collect();
+        assert_eq!(link(&s, &bits, 0.0, 0), bits);
+    }
+
+    #[test]
+    fn all_patterns_of_one_symbol() {
+        let s = BasicDsm { l: 3, ..Default::default() };
+        for pat in 0..8u8 {
+            let bits: Vec<bool> = (0..3).map(|k| (pat >> k) & 1 == 1).collect();
+            assert_eq!(link(&s, &bits, 0.0, 0), bits, "pattern {pat:03b}");
+        }
+    }
+
+    #[test]
+    fn tolerates_moderate_noise() {
+        let s = BasicDsm { l: 4, ..Default::default() };
+        let bits: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        // σ = 0.05 on the 2/L = 0.5 swing: ≈ 26 dB, decided over win/4 samples.
+        assert_eq!(link(&s, &bits, 0.05, 3), bits);
+    }
+
+    #[test]
+    fn overlapped_dsm_is_strictly_faster() {
+        // The §4.1.2 point: same L and τ₁, but no τ₀ overhead per symbol.
+        let basic = BasicDsm::default();
+        let overlapped_rate = 1.0 / basic.tau1 * 1.0; // 1 bit per slot at P=2
+        assert!(overlapped_rate / basic.data_rate() > 1.8);
+    }
+}

@@ -1,0 +1,239 @@
+//! PQAM constellations: square QAM grids in the polarization plane.
+//!
+//! A P-order PQAM symbol is a pair of per-axis levels `(ℓ_I, ℓ_Q)` with
+//! `ℓ ∈ 0..√P`, realized by charging the binary-weighted pixels of the I and
+//! Q module fired in that slot. Bits map to levels through a per-axis Gray
+//! code so adjacent-level confusions cost one bit. In signal space the
+//! symbol sits at `a_I + j·a_Q` with `a = ℓ/(√P−1) ∈ [0, 1]` (Fig. 7's
+//! constellation, offset to the charged/discharged range).
+//!
+//! `P = 2` degenerates to a binary constellation on the I axis only (the
+//! robust low-rate mode).
+
+use retroturbo_coding::gray::{from_gray, to_gray};
+use retroturbo_dsp::C64;
+
+/// A P-order PQAM constellation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constellation {
+    p: usize,
+    per_axis: usize,
+    bits_i: usize,
+    bits_q: usize,
+}
+
+/// One PQAM symbol as per-axis levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PqamSymbol {
+    /// I-axis level, `0..levels_per_axis`.
+    pub i: usize,
+    /// Q-axis level, `0..levels_per_axis` (always 0 when P = 2).
+    pub q: usize,
+}
+
+impl Constellation {
+    /// Build a P-order constellation. P must be 2 or an even power of two
+    /// square (4, 16, 64, 256).
+    ///
+    /// # Panics
+    /// Panics for unsupported P.
+    pub fn new(p: usize) -> Self {
+        if p == 2 {
+            return Self {
+                p,
+                per_axis: 2,
+                bits_i: 1,
+                bits_q: 0,
+            };
+        }
+        let sq = (p as f64).sqrt().round() as usize;
+        assert!(
+            sq * sq == p && sq.is_power_of_two() && (4..=256).contains(&p),
+            "Constellation: unsupported order {p}"
+        );
+        let bits = (sq as f64).log2().round() as usize;
+        Self {
+            p,
+            per_axis: sq,
+            bits_i: bits,
+            bits_q: bits,
+        }
+    }
+
+    /// Constellation order P.
+    pub fn order(&self) -> usize {
+        self.p
+    }
+
+    /// Levels per axis (√P, or 2 for P = 2).
+    pub fn levels_per_axis(&self) -> usize {
+        self.per_axis
+    }
+
+    /// Bits per symbol (log₂ P).
+    pub fn bits_per_symbol(&self) -> usize {
+        self.bits_i + self.bits_q
+    }
+
+    /// Map `bits_per_symbol` bits (MSB-first: I bits then Q bits) to a symbol
+    /// via per-axis Gray coding. Missing bits read as 0.
+    pub fn map(&self, bits: &[bool]) -> PqamSymbol {
+        let take = |at: usize, n: usize| -> usize {
+            (0..n).fold(0usize, |acc, k| {
+                (acc << 1) | bits.get(at + k).copied().unwrap_or(false) as usize
+            })
+        };
+        let gi = take(0, self.bits_i);
+        let gq = take(self.bits_i, self.bits_q);
+        PqamSymbol {
+            i: from_gray(gi as u32) as usize,
+            q: from_gray(gq as u32) as usize,
+        }
+    }
+
+    /// Inverse of [`Self::map`]: symbol → bits (I bits then Q bits, MSB-first).
+    pub fn unmap(&self, s: PqamSymbol) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.bits_per_symbol());
+        let gi = to_gray(s.i as u32);
+        for k in (0..self.bits_i).rev() {
+            out.push((gi >> k) & 1 == 1);
+        }
+        let gq = to_gray(s.q as u32);
+        for k in (0..self.bits_q).rev() {
+            out.push((gq >> k) & 1 == 1);
+        }
+        out
+    }
+
+    /// Normalized per-axis amplitude of a level: `ℓ/(per_axis − 1) ∈ [0, 1]`.
+    pub fn amplitude(&self, level: usize) -> f64 {
+        level as f64 / (self.per_axis - 1) as f64
+    }
+
+    /// Signal-space point of a symbol: `a_I + j·a_Q`.
+    pub fn point(&self, s: PqamSymbol) -> C64 {
+        C64::new(self.amplitude(s.i), self.amplitude(s.q))
+    }
+
+    /// Nearest symbol to an arbitrary complex estimate (per-axis rounding —
+    /// the grid is separable).
+    pub fn slice(&self, z: C64) -> PqamSymbol {
+        let q_axis = |x: f64, levels: usize| -> usize {
+            let l = (x * (levels - 1) as f64).round();
+            l.clamp(0.0, (levels - 1) as f64) as usize
+        };
+        PqamSymbol {
+            i: q_axis(z.re, self.per_axis),
+            q: if self.bits_q == 0 {
+                0
+            } else {
+                q_axis(z.im, self.per_axis)
+            },
+        }
+    }
+
+    /// Iterate over all P symbols.
+    pub fn symbols(&self) -> impl Iterator<Item = PqamSymbol> + '_ {
+        let qs = if self.bits_q == 0 { 1 } else { self.per_axis };
+        (0..self.per_axis)
+            .flat_map(move |i| (0..qs).map(move |q| PqamSymbol { i, q }))
+    }
+
+    /// Minimum distance between constellation points (per-axis spacing).
+    pub fn min_distance(&self) -> f64 {
+        1.0 / (self.per_axis - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_and_bit_counts() {
+        for (p, bits, per) in [(2usize, 1usize, 2usize), (4, 2, 2), (16, 4, 4), (64, 6, 8), (256, 8, 16)] {
+            let c = Constellation::new(p);
+            assert_eq!(c.bits_per_symbol(), bits, "P={p}");
+            assert_eq!(c.levels_per_axis(), per, "P={p}");
+        }
+    }
+
+    #[test]
+    fn map_unmap_round_trip_all_symbols() {
+        for p in [2usize, 4, 16, 64, 256] {
+            let c = Constellation::new(p);
+            for s in c.symbols() {
+                let bits = c.unmap(s);
+                assert_eq!(bits.len(), c.bits_per_symbol());
+                assert_eq!(c.map(&bits), s, "P={p} s={s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_count_is_p() {
+        for p in [2usize, 4, 16, 256] {
+            assert_eq!(Constellation::new(p).symbols().count(), p);
+        }
+    }
+
+    #[test]
+    fn gray_property_adjacent_levels_one_bit() {
+        let c = Constellation::new(16);
+        for i in 0..3usize {
+            let a = c.unmap(PqamSymbol { i, q: 0 });
+            let b = c.unmap(PqamSymbol { i: i + 1, q: 0 });
+            let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+            assert_eq!(diff, 1, "levels {i} and {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn points_span_unit_square() {
+        let c = Constellation::new(16);
+        let z00 = c.point(PqamSymbol { i: 0, q: 0 });
+        let z33 = c.point(PqamSymbol { i: 3, q: 3 });
+        assert_eq!(z00, C64::new(0.0, 0.0));
+        assert_eq!(z33, C64::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn slice_recovers_exact_points() {
+        for p in [4usize, 16, 256] {
+            let c = Constellation::new(p);
+            for s in c.symbols() {
+                assert_eq!(c.slice(c.point(s)), s, "P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_clamps_outliers() {
+        let c = Constellation::new(16);
+        assert_eq!(c.slice(C64::new(-0.4, 1.7)), PqamSymbol { i: 0, q: 3 });
+    }
+
+    #[test]
+    fn slice_nearest_midpoint() {
+        let c = Constellation::new(4); // levels {0, 1} per axis
+        let s = c.slice(C64::new(0.4, 0.6));
+        assert_eq!(s, PqamSymbol { i: 0, q: 1 });
+    }
+
+    #[test]
+    fn p2_has_no_q() {
+        let c = Constellation::new(2);
+        assert_eq!(c.bits_per_symbol(), 1);
+        let s = c.map(&[true]);
+        assert_eq!(s, PqamSymbol { i: 1, q: 0 });
+        assert_eq!(c.unmap(s), vec![true]);
+        // Q estimate ignored when slicing.
+        assert_eq!(c.slice(C64::new(0.9, 0.8)).q, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported order")]
+    fn rejects_p8() {
+        let _ = Constellation::new(8);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-module reference pulse banks with firing-history memory.
+//!
+//! The DFE needs to predict, for any hypothesized symbol sequence, the exact
+//! waveform a module contributes — including the tail effect, where a pulse's
+//! shape depends on how the module was driven in its previous firing cycles
+//! (Fig. 11a). A [`PulseBank`] stores one *cycle segment* (the module's
+//! contrast waveform over one W = L·T firing period) per V-bit firing
+//! history, for a unit pixel; module gains, pixel weights and polarization
+//! axes scale it at prediction time.
+//!
+//! Banks are collected by driving the simulated LC dynamics through every
+//! history pattern — the role played by offline trace recording on the real
+//! prototype (§4.3.3); the channel trainer then compresses banks collected
+//! at many orientations into a few SVD bases and fits per-module
+//! coefficients online.
+
+use retroturbo_lcm::dynamics::{simulate, LcParams, LcState};
+
+/// Reference cycle segments for one pixel class, indexed by firing history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseBank {
+    l: usize,
+    spt: usize,
+    v: usize,
+    /// `seg[key]` = contrast waveform over the most recent firing cycle
+    /// (L·spt samples). Bit k of `key` = "fired k cycles ago"; bit 0 is the
+    /// current cycle.
+    seg: Vec<Vec<f64>>,
+}
+
+impl PulseBank {
+    /// Collect a bank by simulating the LC dynamics: for each V-bit history,
+    /// drive a relaxed pixel through the V firing cycles (oldest first, one
+    /// slot on when fired, then L−1 slots off) and record the final cycle.
+    ///
+    /// `l` = DSM order (slots per cycle), `spt` = samples per slot,
+    /// `fs` = sample rate, `v` = history depth (1..=8).
+    ///
+    /// # Panics
+    /// Panics for out-of-range `v` or degenerate dimensions.
+    pub fn collect(params: &LcParams, l: usize, spt: usize, fs: f64, v: usize) -> Self {
+        assert!((1..=8).contains(&v), "PulseBank: v must be 1..=8");
+        assert!(l >= 1 && spt >= 2, "PulseBank: degenerate dimensions");
+        let dt = 1.0 / fs;
+        let cycle_len = l * spt;
+        let mut seg = Vec::with_capacity(1 << v);
+        for key in 0..(1usize << v) {
+            // Oldest cycle first: age v−1 down to 0.
+            let mut drive = Vec::with_capacity(v * cycle_len);
+            for age in (0..v).rev() {
+                let fired = (key >> age) & 1 == 1;
+                for s in 0..cycle_len {
+                    drive.push(fired && s < spt);
+                }
+            }
+            let out = simulate(params, LcState::relaxed(), &drive, dt);
+            seg.push(out[(v - 1) * cycle_len..].to_vec());
+        }
+        Self { l, spt, v, seg }
+    }
+
+    /// DSM order (slots per firing cycle).
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Samples per slot.
+    pub fn spt(&self) -> usize {
+        self.spt
+    }
+
+    /// History depth V.
+    pub fn v(&self) -> usize {
+        self.v
+    }
+
+    /// Samples per cycle segment (L·spt).
+    pub fn cycle_len(&self) -> usize {
+        self.l * self.spt
+    }
+
+    /// The full cycle segment for a history key.
+    pub fn segment(&self, key: usize) -> &[f64] {
+        &self.seg[key & ((1 << self.v) - 1)]
+    }
+
+    /// One slot (`tau ∈ 0..L`, slots since the cycle's firing slot) of the
+    /// segment for a history key.
+    pub fn slot(&self, key: usize, tau: usize) -> &[f64] {
+        debug_assert!(tau < self.l);
+        let s = self.segment(key);
+        &s[tau * self.spt..(tau + 1) * self.spt]
+    }
+
+    /// Concatenate all segments (key order) into one vector — the `r(x)`
+    /// column of the offline-training matrix E (§4.3.3).
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.seg.len() * self.cycle_len());
+        for s in &self.seg {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    /// Rebuild a bank from a flattened vector (inverse of [`Self::flatten`]) —
+    /// used by the online trainer to materialize fitted banks.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != 2^v · l · spt`.
+    pub fn from_flat(l: usize, spt: usize, v: usize, flat: &[f64]) -> Self {
+        let cycle = l * spt;
+        assert_eq!(
+            flat.len(),
+            (1 << v) * cycle,
+            "from_flat: length must be 2^v · l · spt"
+        );
+        let seg = flat.chunks(cycle).map(|c| c.to_vec()).collect();
+        Self { l, spt, v, seg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(v: usize) -> PulseBank {
+        // L = 8, T = 0.5 ms at 40 kHz → spt = 20.
+        PulseBank::collect(&LcParams::default(), 8, 20, 40_000.0, v)
+    }
+
+    #[test]
+    fn dimensions() {
+        let b = bank(2);
+        assert_eq!(b.cycle_len(), 160);
+        assert_eq!(b.segment(0).len(), 160);
+        assert_eq!(b.slot(1, 0).len(), 20);
+        assert_eq!(b.flatten().len(), 4 * 160);
+    }
+
+    #[test]
+    fn never_fired_is_relaxed() {
+        let b = bank(3);
+        for &c in b.segment(0) {
+            assert!((c + 1.0).abs() < 1e-9, "idle pixel must stay at −1: {c}");
+        }
+    }
+
+    #[test]
+    fn fired_cycle_rises_then_decays() {
+        let b = bank(2);
+        let s = b.segment(0b01); // fired now, not before
+        // Rises well above rest during the firing slot...
+        let peak = s[..40].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak > 0.5, "pulse peak {peak}");
+        // ...and decays back toward rest by the end of the 4 ms cycle.
+        assert!(s[159] < -0.7, "tail should relax: {}", s[159]);
+    }
+
+    #[test]
+    fn tail_effect_distinguishes_histories() {
+        // Same current bit, different history ⇒ measurably different pulse
+        // (this is what V = 1 training cannot capture — Fig. 17b).
+        let b = bank(2);
+        let fresh = b.segment(0b01); // fired now, idle before
+        let repeat = b.segment(0b11); // fired now and in the previous cycle
+        let diff: f64 = fresh
+            .iter()
+            .zip(repeat)
+            .map(|(a, c)| (a - c) * (a - c))
+            .sum::<f64>()
+            .sqrt();
+        assert!(diff > 0.05, "histories indistinguishable: {diff}");
+    }
+
+    #[test]
+    fn previous_fire_only_leaves_residual() {
+        // Fired last cycle but not now: the early slots still show the old
+        // pulse's discharge tail (> rest level).
+        let b = bank(2);
+        let s = b.segment(0b10);
+        assert!(s[0] > -0.9, "expected discharge residual, got {}", s[0]);
+        assert!(s[159] < -0.9, "must be near rest by cycle end");
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let b = bank(2);
+        let r = PulseBank::from_flat(8, 20, 2, &b.flatten());
+        assert_eq!(b, r);
+    }
+
+    #[test]
+    fn short_slot_configuration() {
+        // The 32 kbps configuration: T = 0.25 ms (spt = 10), L = 16.
+        let b = PulseBank::collect(&LcParams::default(), 16, 10, 40_000.0, 2);
+        assert_eq!(b.cycle_len(), 160);
+        let s = b.segment(0b01);
+        let peak = s.iter().cloned().fold(f64::MIN, f64::max);
+        // Partial charge in the shorter window — still a clear pulse.
+        assert!(peak > -0.2, "short-slot pulse too weak: {peak}");
+    }
+}

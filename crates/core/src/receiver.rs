@@ -1,0 +1,342 @@
+//! The full receive pipeline: detect → correct → train → equalize → demap.
+//!
+//! Mirrors the reader architecture of Fig. 4: the preamble detector
+//! time-aligns the frame and undoes rotation/scale/offset (§4.3.1), the
+//! online trainer fits per-module reference banks (§4.3.3), and the K-branch
+//! DFE decides the payload symbols (§4.3.2).
+
+use crate::constellation::PqamSymbol;
+use crate::dfe::Equalizer;
+use crate::frame::Modulator;
+use crate::params::PhyConfig;
+use crate::preamble::{correct, PreambleCorrection, PreambleDetector};
+use crate::synth::TagModel;
+use crate::training::{OfflineTraining, OnlineTrainer};
+use retroturbo_dsp::Signal;
+use retroturbo_lcm::LcParams;
+
+/// Receive-side failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxError {
+    /// No preamble cleared the detection threshold.
+    NoPreamble,
+    /// The signal ends before the payload does.
+    Truncated,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::NoPreamble => write!(f, "preamble not detected"),
+            RxError::Truncated => write!(f, "signal shorter than the frame"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// A successfully received frame.
+#[derive(Debug, Clone)]
+pub struct RxResult {
+    /// Decided payload symbols.
+    pub symbols: Vec<PqamSymbol>,
+    /// Demapped payload bits (truncated to the requested count).
+    pub bits: Vec<bool>,
+    /// Detected frame start (sample offset into the input signal).
+    pub offset: usize,
+    /// Preamble detection score at the match (unexplained-variance
+    /// fraction; ~0 clean, → 1 noise).
+    pub preamble_residual: f64,
+    /// The fitted channel map (received ≈ α·reference + β·reference* + γ) —
+    /// exposed so callers can reconstruct this frame's contribution to a
+    /// multi-tag mixture (successive interference cancellation).
+    pub channel: PreambleCorrection,
+}
+
+/// The RetroTurbo receiver.
+#[derive(Debug)]
+pub struct Receiver {
+    cfg: PhyConfig,
+    modulator: Modulator,
+    detector: PreambleDetector,
+    trainer: OnlineTrainer,
+    nominal: TagModel,
+    /// Run per-packet online training (disable to measure its value, as the
+    /// yaw experiment of Fig. 16c does).
+    pub online_training: bool,
+    /// Branch count override (None = config value).
+    k_override: Option<usize>,
+    /// Decision-directed channel-tracking window (None = static channel).
+    track_block: Option<usize>,
+}
+
+impl Receiver {
+    /// Build a receiver: collects the nominal model, offline-training bases
+    /// (with `s` retained components) and the preamble reference.
+    pub fn new(cfg: PhyConfig, nominal_params: &LcParams, s: usize) -> Self {
+        cfg.validate();
+        let nominal = TagModel::nominal(&cfg, nominal_params);
+        let detector = PreambleDetector::new(&cfg, &nominal);
+        let offline = OfflineTraining::collect(
+            &cfg,
+            nominal_params,
+            &OfflineTraining::default_variants(nominal_params),
+            s,
+        );
+        let trainer = OnlineTrainer::new(cfg, &offline);
+        Self {
+            cfg,
+            modulator: Modulator::new(cfg),
+            detector,
+            trainer,
+            nominal,
+            online_training: true,
+            k_override: None,
+            track_block: None,
+        }
+    }
+
+    /// Override the DFE branch count (Fig. 17a sweep).
+    pub fn with_branches(mut self, k: usize) -> Self {
+        self.k_override = Some(k);
+        self
+    }
+
+    /// Enable decision-directed channel tracking (the §8 mobility
+    /// extension): the DFE re-estimates a residual complex gain from its
+    /// own decisions with an exponential window of ≈ `block_slots`.
+    pub fn with_tracking(mut self, block_slots: usize) -> Self {
+        self.track_block = Some(block_slots);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PhyConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the preamble detection threshold.
+    pub fn detection_threshold_mut(&mut self) -> &mut f64 {
+        &mut self.detector.threshold
+    }
+
+    /// Total frame length in slots for a payload of `n_bits`.
+    pub fn frame_slots(&self, n_bits: usize) -> usize {
+        let bps = self.cfg.bits_per_symbol();
+        let pay = n_bits.div_ceil(bps);
+        self.cfg.preamble_slots + self.cfg.training_rounds * self.cfg.l_order + pay
+            + self.cfg.l_order
+    }
+
+    /// Receive a frame of `n_bits` payload bits from a raw signal: search
+    /// for the preamble anywhere in the stream, then decode.
+    pub fn receive(&self, rx: &Signal, n_bits: usize) -> Result<RxResult, RxError> {
+        let m = self.detector.detect(rx).ok_or(RxError::NoPreamble)?;
+        self.decode_at(rx, m.offset, m, n_bits)
+    }
+
+    /// Receive with the preamble search restricted to sample offsets
+    /// `[from, to)` — the reader knows roughly when a polled tag responds.
+    pub fn receive_window(
+        &self,
+        rx: &Signal,
+        from: usize,
+        to: usize,
+        n_bits: usize,
+    ) -> Result<RxResult, RxError> {
+        let m = self
+            .detector
+            .detect_in(rx, from, to)
+            .ok_or(RxError::NoPreamble)?;
+        self.decode_at(rx, m.offset, m, n_bits)
+    }
+
+    /// Receive assuming the frame starts exactly at `offset`: the preamble
+    /// fit runs there unconditionally (no detection threshold — the caller
+    /// asserts the frame position, e.g. a TDMA slot).
+    pub fn receive_at(&self, rx: &Signal, offset: usize, n_bits: usize) -> Result<RxResult, RxError> {
+        let m = self
+            .detector
+            .fit_at(rx, offset)
+            .ok_or(RxError::Truncated)?;
+        self.decode_at(rx, offset, m, n_bits)
+    }
+
+    fn decode_at(
+        &self,
+        rx: &Signal,
+        offset: usize,
+        m: crate::preamble::PreambleMatch,
+        n_bits: usize,
+    ) -> Result<RxResult, RxError> {
+        let spt = self.cfg.samples_per_slot();
+        let bps = self.cfg.bits_per_symbol();
+        let n_payload = n_bits.div_ceil(bps);
+        let prefix_slots = self.cfg.preamble_slots + self.cfg.training_rounds * self.cfg.l_order;
+        let need = (prefix_slots + n_payload) * spt;
+        if offset + need > rx.len() {
+            return Err(RxError::Truncated);
+        }
+        let corrected = correct(&m.fit, &rx.samples()[offset..offset + need]);
+
+        let model = if self.online_training {
+            self.trainer.train(&corrected)
+        } else {
+            self.nominal.clone()
+        };
+
+        let mut eq = Equalizer::new(self.cfg);
+        if let Some(k) = self.k_override {
+            eq = eq.with_branches(k);
+        }
+        if let Some(b) = self.track_block {
+            eq = eq.with_tracking(b);
+        }
+        // Known prefix levels: preamble + training.
+        let mut known = Modulator::preamble_levels(&self.cfg);
+        known.extend(Modulator::training_levels(&self.cfg));
+        let symbols = eq.equalize(&corrected, &model, &known, n_payload);
+        let bits = self.modulator.demap(&symbols, n_bits);
+        Ok(RxResult {
+            symbols,
+            bits,
+            offset,
+            preamble_residual: m.score,
+            channel: m.fit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Modulator;
+    use retroturbo_dsp::noise::NoiseSource;
+    use retroturbo_dsp::C64;
+    use retroturbo_lcm::{Heterogeneity, Panel};
+
+    fn cfg() -> PhyConfig {
+        PhyConfig {
+            l_order: 4,
+            pqam_order: 16,
+            t_slot: 0.5e-3,
+            fs: 40_000.0,
+            v_memory: 3,
+            k_branches: 8,
+            preamble_slots: 12,
+            training_rounds: 6,
+        }
+    }
+
+    /// End-to-end: modulate → heterogeneous panel → channel distortion →
+    /// receive.
+    fn link(
+        bits: &[bool],
+        roll_deg: f64,
+        gain: f64,
+        noise_sigma: f64,
+        het: Heterogeneity,
+        seed: u64,
+    ) -> Result<Vec<bool>, RxError> {
+        let c = cfg();
+        let m = Modulator::new(c);
+        let frame = m.modulate(bits);
+        let mut panel = Panel::retroturbo(
+            c.l_order,
+            c.bits_per_module(),
+            LcParams::default(),
+            het,
+            seed,
+        );
+        let cmds = frame.drive_commands(&c);
+        let wave = panel.simulate(&cmds, frame.total_slots() * c.samples_per_slot(), c.fs);
+
+        // Channel: pad, rotate (2×roll), scale, DC, noise.
+        let rot = C64::from_polar(gain, 2.0 * roll_deg.to_radians());
+        let dc = C64::new(0.05, -0.03);
+        let pad = 73usize;
+        let rest = rot * C64::new(-1.0, -1.0) + dc;
+        let mut samples = vec![rest; pad];
+        samples.extend(wave.samples().iter().map(|&z| rot * z + dc));
+        let mut sig = Signal::new(samples, c.fs);
+        if noise_sigma > 0.0 {
+            let mut ns = NoiseSource::new(seed);
+            ns.add_awgn(sig.samples_mut(), noise_sigma * gain);
+        }
+
+        let rx = Receiver::new(c, &LcParams::default(), 3);
+        rx.receive(&sig, bits.len()).map(|r| r.bits)
+    }
+
+    #[test]
+    fn clean_end_to_end() {
+        let bits: Vec<bool> = (0..80).map(|i| (i * 7) % 5 < 2).collect();
+        let out = link(&bits, 0.0, 1.0, 0.0, Heterogeneity::none(), 1).unwrap();
+        assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn rotated_scaled_heterogeneous_end_to_end() {
+        let bits: Vec<bool> = (0..80).map(|i| (i * 11) % 3 == 0).collect();
+        let out = link(&bits, 37.0, 0.4, 0.005, Heterogeneity::typical(), 5).unwrap();
+        let errs = out.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert_eq!(errs, 0, "{errs} bit errors under rotation+heterogeneity");
+    }
+
+    #[test]
+    fn moderate_noise_end_to_end() {
+        let bits: Vec<bool> = (0..80).map(|i| i % 3 != 1).collect();
+        let out = link(&bits, 10.0, 0.8, 0.02, Heterogeneity::typical(), 8).unwrap();
+        let errs = out.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert_eq!(errs, 0, "{errs} bit errors at ~34 dB");
+    }
+
+    #[test]
+    fn no_signal_yields_no_preamble() {
+        let c = cfg();
+        let rx = Receiver::new(c, &LcParams::default(), 2);
+        let mut sig = Signal::zeros(8000, c.fs);
+        let mut ns = NoiseSource::new(3);
+        ns.add_awgn(sig.samples_mut(), 0.5);
+        assert_eq!(rx.receive(&sig, 32).unwrap_err(), RxError::NoPreamble);
+    }
+
+    #[test]
+    fn truncated_signal_reports_error() {
+        let c = cfg();
+        let m = Modulator::new(c);
+        let bits = vec![true; 64];
+        let frame = m.modulate(&bits);
+        let model = TagModel::nominal(&c, &LcParams::default());
+        let wave = model.render_levels(&frame.levels);
+        // Keep the preamble but cut the payload off.
+        let cut = (c.preamble_slots + 2) * c.samples_per_slot();
+        let sig = Signal::new(wave[..cut].to_vec(), c.fs);
+        let rx = Receiver::new(c, &LcParams::default(), 2);
+        assert_eq!(rx.receive(&sig, bits.len()).unwrap_err(), RxError::Truncated);
+    }
+
+    #[test]
+    fn training_disabled_still_works_on_uniform_panel() {
+        let c = cfg();
+        let m = Modulator::new(c);
+        let bits: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let frame = m.modulate(&bits);
+        let model = TagModel::nominal(&c, &LcParams::default());
+        let wave = model.render_levels(&frame.levels);
+        let sig = Signal::new(wave, c.fs);
+        let mut rx = Receiver::new(c, &LcParams::default(), 2);
+        rx.online_training = false;
+        let out = rx.receive(&sig, bits.len()).unwrap();
+        assert_eq!(out.bits, bits);
+        assert_eq!(out.offset, 0);
+    }
+
+    #[test]
+    fn frame_slots_accounting() {
+        let c = cfg();
+        let rx = Receiver::new(c, &LcParams::default(), 1);
+        // 80 bits at 4 b/sym = 20 payload slots + 12 pre + 24 train + 4 tail.
+        assert_eq!(rx.frame_slots(80), 60);
+    }
+}

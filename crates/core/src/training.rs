@@ -1,0 +1,498 @@
+//! Channel training: combating LCM heterogeneity (§4.3.3).
+//!
+//! The DFE's predictions are only as good as its per-module reference
+//! pulses, and real modules differ — gain spread, polarizer-attachment error,
+//! uneven illumination, per-cell timing variation — and deform further under
+//! yaw. The paper's two-fold trainer:
+//!
+//! * **Offline** (once, at high SNR): collect complete behaviour models
+//!   `r(x)` — all 2^V history segments concatenated — at several
+//!   "orientations" x, stack them as columns of E, and extract the top-S
+//!   left singular vectors. This is the truncated Karhunen–Loève expansion:
+//!   the best S-dimensional linear subspace for representing any module's
+//!   behaviour.
+//! * **Online** (per packet): every module fires a known pilot pattern; a
+//!   single complex least-squares solve fits 2L·S coefficients — each
+//!   module's behaviour as a complex mixture of the S bases (the complex
+//!   part absorbs the module's amplitude and polarization axis).
+//!
+//! In this reproduction "orientations" are perturbations of the LC dynamics
+//! constants (the observable effect of orientation/illumination diversity on
+//! the recorded pulses — see DESIGN.md §1).
+
+use crate::frame::Modulator;
+use crate::params::PhyConfig;
+use crate::pulse::PulseBank;
+use crate::synth::{ModuleModel, TagModel};
+use retroturbo_dsp::linalg::{gauss_solve_c, jacobi_svd, lstsq_c, CMat, Mat};
+use retroturbo_dsp::C64;
+use retroturbo_lcm::LcParams;
+
+/// The offline-training product: S orthonormal behaviour bases.
+#[derive(Debug, Clone)]
+pub struct OfflineTraining {
+    /// Each basis is a flattened bank (2^V · L · spt real samples).
+    pub bases: Vec<Vec<f64>>,
+    l: usize,
+    spt: usize,
+    v: usize,
+}
+
+impl OfflineTraining {
+    /// Collect banks for the nominal parameters plus each perturbation,
+    /// stack and SVD, keep the top `s` bases.
+    ///
+    /// # Panics
+    /// Panics if `s` is 0 or exceeds the number of collected banks.
+    pub fn collect(cfg: &PhyConfig, nominal: &LcParams, variants: &[LcParams], s: usize) -> Self {
+        assert!(s >= 1 && s <= variants.len() + 1, "OfflineTraining: bad S");
+        let spt = cfg.samples_per_slot();
+        let mut cols: Vec<Vec<f64>> = Vec::with_capacity(variants.len() + 1);
+        cols.push(PulseBank::collect(nominal, cfg.l_order, spt, cfg.fs, cfg.v_memory).flatten());
+        for p in variants {
+            cols.push(PulseBank::collect(p, cfg.l_order, spt, cfg.fs, cfg.v_memory).flatten());
+        }
+        let rows = cols[0].len();
+        let mut e = Mat::zeros(rows, cols.len());
+        for (j, c) in cols.iter().enumerate() {
+            for (i, &x) in c.iter().enumerate() {
+                e[(i, j)] = x;
+            }
+        }
+        let svd = jacobi_svd(&e);
+        let bases = (0..s).map(|j| svd.u.col(j)).collect();
+        Self {
+            bases,
+            l: cfg.l_order,
+            spt,
+            v: cfg.v_memory,
+        }
+    }
+
+    /// The default orientation set: independent ±8% / ±16% perturbations of
+    /// the charge and relax time constants — spanning the per-module timing
+    /// spread the heterogeneity model injects.
+    pub fn default_variants(nominal: &LcParams) -> Vec<LcParams> {
+        let mut out = Vec::new();
+        for &dc in &[-0.16f64, -0.08, 0.08, 0.16] {
+            let mut p = *nominal;
+            p.tau_charge *= 1.0 + dc;
+            out.push(p);
+        }
+        for &dr in &[-0.16f64, -0.08, 0.08, 0.16] {
+            let mut p = *nominal;
+            p.tau_relax *= 1.0 + dr;
+            out.push(p);
+        }
+        for &(dc, dr) in &[(-0.12f64, 0.12f64), (0.12, -0.12)] {
+            let mut p = *nominal;
+            p.tau_charge *= 1.0 + dc;
+            p.tau_relax *= 1.0 + dr;
+            out.push(p);
+        }
+        out
+    }
+
+    /// Number of bases S.
+    pub fn s(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// View basis `s` as a bank for history-segment lookup.
+    fn basis_bank(&self, s: usize) -> PulseBank {
+        PulseBank::from_flat(self.l, self.spt, self.v, &self.bases[s])
+    }
+}
+
+/// Online trainer bound to a configuration and offline bases.
+#[derive(Debug)]
+pub struct OnlineTrainer {
+    cfg: PhyConfig,
+    /// Basis banks materialized for fast slot lookup.
+    basis_banks: Vec<PulseBank>,
+    /// Run the per-(module, key) refinement stage (on by default; the
+    /// ablation study switches it off).
+    pub refine: bool,
+}
+
+impl OnlineTrainer {
+    /// Prepare the trainer.
+    pub fn new(cfg: PhyConfig, offline: &OfflineTraining) -> Self {
+        assert!(
+            cfg.preamble_slots >= cfg.l_order,
+            "OnlineTrainer: preamble must cover one full cycle"
+        );
+        let basis_banks = (0..offline.s()).map(|s| offline.basis_bank(s)).collect();
+        Self {
+            cfg,
+            basis_banks,
+            refine: true,
+        }
+    }
+
+    /// Binary firing history of `module` ending at global slot `g`, using
+    /// the known preamble + training patterns (full-scale firings only).
+    fn known_fired(&self, module: usize, slot: usize) -> bool {
+        let cfg = &self.cfg;
+        let l = cfg.l_order;
+        let phase = module % l;
+        if slot % l != phase {
+            return false;
+        }
+        if slot < cfg.preamble_slots {
+            let pre = Modulator::preamble_levels(cfg);
+            let (li, lq) = pre[slot];
+            return if module >= l { lq > 0 } else { li > 0 };
+        }
+        let ts = slot - cfg.preamble_slots;
+        let round = ts / l;
+        if round >= cfg.training_rounds {
+            return false;
+        }
+        Modulator::training_fired(cfg, module, round)
+    }
+
+    /// Fit the per-module complex basis coefficients from the corrected
+    /// received frame (`rx` aligned so sample 0 = slot 0) and materialize the
+    /// trained [`TagModel`].
+    ///
+    /// Falls back to coefficient vectors of zero (a dead module) only if the
+    /// least-squares system is singular, which the pilot design prevents.
+    pub fn train(&self, rx: &[C64]) -> TagModel {
+        let cfg = &self.cfg;
+        let l = cfg.l_order;
+        let spt = cfg.samples_per_slot();
+        let v = cfg.v_memory;
+        let s_count = self.basis_banks.len();
+        // Fit over the preamble too (skipping the cold-start cycle): its
+        // firings are just as known as the pilot rounds and roughly double
+        // the observed history keys per module.
+        let start = l;
+        let end = cfg.preamble_slots + cfg.training_rounds * l;
+        assert!(
+            rx.len() >= end * spt,
+            "train: rx too short for the training window"
+        );
+        let n_rows = (end - start) * spt;
+        let n_cols = 2 * l * s_count;
+
+        // Design matrix: column (module, s) = that module's expected
+        // waveform over the window if its bank were basis s with unit gain.
+        let mut a = CMat::zeros(n_rows, n_cols);
+        for module in 0..2 * l {
+            let phase = module % l;
+            for g in start..end {
+                let tau = (g - phase) % l;
+                let f_latest = g - tau;
+                let mut key = 0usize;
+                for age in 0..v {
+                    let fs = f_latest as isize - (age * l) as isize;
+                    if fs < 0 {
+                        break;
+                    }
+                    key |= (self.known_fired(module, fs as usize) as usize) << age;
+                }
+                let row0 = (g - start) * spt;
+                for (s, bank) in self.basis_banks.iter().enumerate() {
+                    let col = module * s_count + s;
+                    let seg = bank.slot(key, tau);
+                    for t in 0..spt {
+                        a[(row0 + t, col)] = C64::real(seg[t]);
+                    }
+                }
+            }
+        }
+        let b = &rx[start * spt..end * spt];
+        let coef = lstsq_c(&a, b).unwrap_or_else(|| vec![C64::default(); n_cols]);
+
+        // Materialize per-module complex banks.
+        let cycle = l * spt;
+        let mut segments: Vec<Vec<Vec<C64>>> = Vec::with_capacity(2 * l);
+        for module in 0..2 * l {
+            let mut segs: Vec<Vec<C64>> = vec![vec![C64::default(); cycle]; 1 << v];
+            for (s, bank) in self.basis_banks.iter().enumerate() {
+                let c = coef[module * s_count + s];
+                for key in 0..(1usize << v) {
+                    let src = bank.segment(key);
+                    let dst = &mut segs[key];
+                    for (d, &x) in dst.iter_mut().zip(src) {
+                        *d += c * x;
+                    }
+                }
+            }
+            segments.push(segs);
+        }
+
+        // Second stage: per-(module, history-key) complex gain refinement —
+        // the fingerprint-per-class references of §4.3.3 ("use different
+        // reference pulse for each LCM sub-channel … classify them according
+        // to V previous bits"). Each observed (module, key) class gets a
+        // multiplicative correction δ, ridge-shrunk toward 1 so that
+        // weakly-observed classes stay at the basis-mixture estimate.
+        if self.refine {
+            self.refine_keys(rx, start, end, &mut segments);
+        }
+
+        let mut modules = Vec::with_capacity(2 * l);
+        for segs in segments {
+            modules.push(ModuleModel::from_segments(segs, l, spt, v));
+        }
+
+        let bits = cfg.bits_per_module();
+        let total = ((1usize << bits) - 1) as f64;
+        let weights = (0..bits)
+            .map(|b| (1usize << (bits - 1 - b)) as f64 / total)
+            .collect();
+        TagModel {
+            modules,
+            weights,
+            cfg: *cfg,
+        }
+    }
+
+    /// Per-(module, key) multiplicative refinement: solve the ridge system
+    /// `min ‖rx − Σ δ_{m,κ}·seg_{m,κ}‖² + λ‖δ − 1‖²` over the training
+    /// window and scale the segments by the fitted δ.
+    fn refine_keys(
+        &self,
+        rx: &[C64],
+        start: usize,
+        end: usize,
+        segments: &mut [Vec<Vec<C64>>],
+    ) {
+        let cfg = &self.cfg;
+        let l = cfg.l_order;
+        let spt = cfg.samples_per_slot();
+        let v = cfg.v_memory;
+        let n_modules = 2 * l;
+
+        // Enumerate observed (module, key) classes and their window slots.
+        let mut class_of = vec![vec![usize::MAX; 1 << v]; n_modules];
+        let mut classes: Vec<(usize, usize)> = Vec::new();
+        let mut slot_class = vec![vec![0usize; n_modules]; end - start];
+        for g in start..end {
+            for module in 0..n_modules {
+                let phase = module % l;
+                let tau = (g - phase) % l;
+                let f_latest = g - tau;
+                let mut key = 0usize;
+                for age in 0..v {
+                    let fs = f_latest as isize - (age * l) as isize;
+                    if fs < 0 {
+                        break;
+                    }
+                    key |= (self.known_fired(module, fs as usize) as usize) << age;
+                }
+                if class_of[module][key] == usize::MAX {
+                    class_of[module][key] = classes.len();
+                    classes.push((module, key));
+                }
+                slot_class[g - start][module] = class_of[module][key];
+            }
+        }
+
+        // Design matrix: column per class, rows over the window; entry =
+        // that class's current segment slice wherever it is active.
+        let n_rows = (end - start) * spt;
+        let mut a = CMat::zeros(n_rows, classes.len());
+        for g in start..end {
+            let row0 = (g - start) * spt;
+            for module in 0..n_modules {
+                let phase = module % l;
+                let tau = (g - phase) % l;
+                let cidx = slot_class[g - start][module];
+                let (_, key) = classes[cidx];
+                let seg = &segments[module][key];
+                for t in 0..spt {
+                    a[(row0 + t, cidx)] += seg[tau * spt + t];
+                }
+            }
+        }
+
+        // Ridge toward δ = 1: solve (AᴴA + λI)δ = Aᴴrx + λ·1.
+        let ah = a.h();
+        let mut aha = ah.matmul(&a);
+        let b = &rx[start * spt..end * spt];
+        let mut ahb = ah.matvec(b);
+        let diag_mean: f64 =
+            (0..aha.rows()).map(|i| aha[(i, i)].re).sum::<f64>() / aha.rows() as f64;
+        let lambda = 0.3 * diag_mean.max(1e-12);
+        for i in 0..aha.rows() {
+            aha[(i, i)] += C64::real(lambda);
+            ahb[i] += C64::real(lambda);
+        }
+        let Some(delta) = gauss_solve_c(&aha, &ahb) else {
+            return; // singular: keep the mixture estimate
+        };
+
+        for (cidx, &(module, key)) in classes.iter().enumerate() {
+            let d = delta[cidx];
+            // Guard against wild corrections on barely-observed classes.
+            if (d - C64::real(1.0)).abs() > 0.5 {
+                continue;
+            }
+            for z in &mut segments[module][key] {
+                *z *= d;
+            }
+        }
+    }
+}
+
+// TagModel's fields are constructed here; expose a crate-visible constructor
+// instead of public fields would be an alternative, but the PHY crate owns
+// both types.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Modulator;
+    use retroturbo_lcm::{Heterogeneity, LcParams, Panel};
+    use retroturbo_dsp::Signal;
+
+    fn cfg() -> PhyConfig {
+        PhyConfig {
+            l_order: 4,
+            pqam_order: 16,
+            t_slot: 0.5e-3,
+            fs: 40_000.0,
+            v_memory: 3,
+            k_branches: 8,
+            preamble_slots: 12,
+            training_rounds: 6,
+        }
+    }
+
+    fn render_heterogeneous_frame(levels: &[crate::synth::SlotLevels], seed: u64) -> Vec<C64> {
+        let c = cfg();
+        let mut panel = Panel::retroturbo(
+            c.l_order,
+            c.bits_per_module(),
+            LcParams::default(),
+            Heterogeneity::typical(),
+            seed,
+        );
+        let plan = crate::frame::FramePlan {
+            levels: levels.to_vec(),
+            payload_symbols: vec![],
+            preamble_slots: c.preamble_slots,
+            training_slots: c.training_rounds * c.l_order,
+            payload_slots: 0,
+            tail_slots: 0,
+        };
+        let cmds = plan.drive_commands(&c);
+        let sig: Signal = panel.simulate(&cmds, levels.len() * c.samples_per_slot(), c.fs);
+        sig.into_samples()
+    }
+
+    #[test]
+    fn offline_bases_orthonormal() {
+        let c = cfg();
+        let nominal = LcParams::default();
+        let off = OfflineTraining::collect(
+            &c,
+            &nominal,
+            &OfflineTraining::default_variants(&nominal),
+            3,
+        );
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = off.bases[i].iter().zip(&off.bases[j]).map(|(a, b)| a * b).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-8, "⟨{i},{j}⟩ = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_basis_captures_nominal_shape() {
+        // The leading KL basis must represent the nominal bank almost
+        // perfectly (variants are small perturbations).
+        let c = cfg();
+        let nominal = LcParams::default();
+        let off = OfflineTraining::collect(
+            &c,
+            &nominal,
+            &OfflineTraining::default_variants(&nominal),
+            1,
+        );
+        let flat = PulseBank::collect(&nominal, c.l_order, c.samples_per_slot(), c.fs, c.v_memory)
+            .flatten();
+        let proj: f64 = off.bases[0].iter().zip(&flat).map(|(a, b)| a * b).sum();
+        let norm: f64 = flat.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(
+            proj.abs() / norm > 0.995,
+            "nominal bank poorly captured: {}",
+            proj.abs() / norm
+        );
+    }
+
+    #[test]
+    fn online_training_recovers_module_gains() {
+        // Render preamble+training through a heterogeneous panel and check
+        // the trained model predicts a later waveform better than nominal.
+        let c = cfg();
+        let nominal = LcParams::default();
+        let off = OfflineTraining::collect(
+            &c,
+            &nominal,
+            &OfflineTraining::default_variants(&nominal),
+            3,
+        );
+        let trainer = OnlineTrainer::new(c, &off);
+
+        let mut levels = Modulator::preamble_levels(&c);
+        levels.extend(Modulator::training_levels(&c));
+        // Follow with a probe section the trainer does not see.
+        let probe: Vec<crate::synth::SlotLevels> =
+            vec![(3, 0), (0, 3), (2, 1), (3, 3), (1, 2), (0, 0), (3, 1), (2, 2)];
+        levels.extend_from_slice(&probe);
+
+        let rx = render_heterogeneous_frame(&levels, 77);
+        let trained = trainer.train(&rx);
+        let nominal_model = TagModel::nominal(&c, &nominal);
+
+        let spt = c.samples_per_slot();
+        let probe_start = (c.preamble_slots + c.training_rounds * c.l_order) * spt;
+        let pred_t = trained.render_levels(&levels);
+        let pred_n = nominal_model.render_levels(&levels);
+        let err = |pred: &[C64]| -> f64 {
+            rx[probe_start..]
+                .iter()
+                .zip(&pred[probe_start..rx.len()])
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum()
+        };
+        let e_t = err(&pred_t);
+        let e_n = err(&pred_n);
+        assert!(
+            e_t < e_n / 3.0,
+            "training should cut prediction error at least 3x: trained {e_t:.4} vs nominal {e_n:.4}"
+        );
+    }
+
+    #[test]
+    fn training_handles_rotated_channel() {
+        // A 30° roll rotates the constellation; the complex coefficients
+        // must absorb it (per-module gains become complex).
+        let c = cfg();
+        let nominal = LcParams::default();
+        let off = OfflineTraining::collect(&c, &nominal, &[], 1);
+        let trainer = OnlineTrainer::new(c, &off);
+
+        let mut levels = Modulator::preamble_levels(&c);
+        levels.extend(Modulator::training_levels(&c));
+        let model = TagModel::nominal(&c, &nominal);
+        let rot = C64::cis(2.0 * 30f64.to_radians());
+        let rx: Vec<C64> = model.render_levels(&levels).iter().map(|&z| rot * z).collect();
+
+        let trained = trainer.train(&rx);
+        let pred = trained.render_levels(&levels);
+        let err: f64 = rx
+            .iter()
+            .zip(&pred)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            / rx.len() as f64;
+        assert!(err < 1e-4, "rotated channel not absorbed: {err}");
+    }
+}

@@ -1,0 +1,402 @@
+//! Minimal complex-number type used throughout the RetroTurbo DSP chain.
+//!
+//! The receiver represents the two polarization channels (0° and 45°
+//! photodiode pairs) as one complex sample `z = I + jQ` per ADC tick, so a
+//! compact, `Copy`, `f64`-based complex type is the working currency of the
+//! whole codebase. `num-complex` is not in the offline dependency set, so we
+//! provide the (small) subset of operations we need ourselves.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// `re` carries the in-phase (0° polarization) component and `im` the
+/// quadrature (45° polarization) component when used as a receiver sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real / in-phase part.
+    pub re: f64,
+    /// Imaginary / quadrature part.
+    pub im: f64,
+}
+
+/// The imaginary unit.
+pub const J: C64 = C64 { re: 0.0, im: 1.0 };
+/// Complex zero.
+pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+/// Complex one.
+pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+
+impl C64 {
+    /// Construct from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Construct a purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Construct a purely imaginary value.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Construct from polar form `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Unit phasor `e^{jθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaNs for zero input.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Complex square root (principal branch).
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Self::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Euclidean distance to another complex number.
+    #[inline]
+    pub fn dist(self, other: Self) -> f64 {
+        (self - other).abs()
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for C64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: f64) -> Self {
+        Self::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: f64) -> Self {
+        Self::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a C64> for C64 {
+    fn sum<I: Iterator<Item = &'a C64>>(iter: I) -> Self {
+        iter.fold(ZERO, |a, b| a + *b)
+    }
+}
+
+/// Inner product `⟨x, y⟩ = Σ x_i · conj(y_i)` of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[C64], y: &[C64]) -> C64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| *a * b.conj()).sum()
+}
+
+/// Squared Euclidean norm `‖x‖²` of a complex slice.
+pub fn norm_sqr(x: &[C64]) -> f64 {
+    x.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Squared Euclidean distance `‖x − y‖²` between two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dist_sqr(x: &[C64], y: &[C64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist_sqr: length mismatch");
+    x.iter().zip(y).map(|(a, b)| (*a - *b).norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert!(close(z.abs(), 5.0));
+        assert!(close(z.norm_sqr(), 25.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(2.0, 0.7);
+        assert!(close(z.abs(), 2.0));
+        assert!(close(z.arg(), 0.7));
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let t = k as f64 * 0.39;
+            assert!(close(C64::cis(t).abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(1.5, -2.5);
+        let b = C64::new(-0.5, 3.0);
+        assert_eq!(a + b, C64::new(1.0, 0.5));
+        assert_eq!(a - b, C64::new(2.0, -5.5));
+        // (a*b)/b == a
+        let q = (a * b) / b;
+        assert!(close(q.re, a.re) && close(q.im, a.im));
+    }
+
+    #[test]
+    fn j_squared_is_minus_one() {
+        let jj = J * J;
+        assert!(close(jj.re, -1.0) && close(jj.im, 0.0));
+    }
+
+    #[test]
+    fn conj_properties() {
+        let a = C64::new(2.0, 3.0);
+        let b = C64::new(-1.0, 4.0);
+        let lhs = (a * b).conj();
+        let rhs = a.conj() * b.conj();
+        assert!(close(lhs.re, rhs.re) && close(lhs.im, rhs.im));
+        assert!(close((a * a.conj()).re, a.norm_sqr()));
+    }
+
+    #[test]
+    fn inverse() {
+        let a = C64::new(3.0, -4.0);
+        let p = a * a.inv();
+        assert!(close(p.re, 1.0) && close(p.im, 0.0));
+    }
+
+    #[test]
+    fn sqrt_principal() {
+        let z = C64::new(-1.0, 0.0);
+        let s = z.sqrt();
+        assert!(close(s.re, 0.0) && close(s.im, 1.0));
+        let w = C64::new(3.0, 4.0);
+        let r = w.sqrt() * w.sqrt();
+        assert!(close(r.re, 3.0) && close(r.im, 4.0));
+    }
+
+    #[test]
+    fn rotation_by_phasor() {
+        // Multiplying by e^{jπ/2} rotates the real axis to the imaginary axis —
+        // exactly how a 45° physical roll moves I-channel energy to Q.
+        let z = ONE * C64::cis(std::f64::consts::FRAC_PI_2);
+        assert!(close(z.re, 0.0) && close(z.im, 1.0));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let x = [ONE, J, C64::new(1.0, 1.0)];
+        assert!(close(norm_sqr(&x), 1.0 + 1.0 + 2.0));
+        let y = [ONE, J, C64::new(1.0, 1.0)];
+        assert!(close(dist_sqr(&x, &y), 0.0));
+        let d = dot(&x, &y);
+        assert!(close(d.re, 4.0) && close(d.im, 0.0));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let xs = vec![ONE, J, C64::new(2.0, -1.0)];
+        let s: C64 = xs.iter().sum();
+        assert_eq!(s, C64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2j");
+    }
+}

@@ -1,0 +1,26 @@
+//! # retroturbo-dsp
+//!
+//! Signal-processing substrate for the RetroTurbo reproduction: complex
+//! arithmetic, sampled signals, FIR/biquad filters, rate conversion, AWGN
+//! with a fixed SNR convention, small dense linear algebra (least squares,
+//! widely-linear fits, Jacobi SVD), and the 455 kHz passband carrier chain of
+//! the reader front end.
+//!
+//! Everything here is deterministic given explicit seeds and carries explicit
+//! sample rates; see DESIGN.md §3 for the signal model and SNR convention.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod carrier;
+pub mod complex;
+pub mod filter;
+pub mod linalg;
+pub mod noise;
+pub mod resample;
+pub mod signal;
+pub mod stats;
+pub mod window;
+
+pub use complex::{C64, J};
+pub use signal::Signal;

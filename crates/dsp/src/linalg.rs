@@ -1,0 +1,702 @@
+//! Small dense linear algebra used by the receiver.
+//!
+//! Three consumers drive the feature set:
+//!
+//! * the preamble detector (§4.3.1) solves a 3-unknown complex least-squares
+//!   fit `min ‖Y − (aX + bX* + c)‖²` for every candidate offset;
+//! * the online channel trainer (§4.3.3) solves a tall complex least-squares
+//!   system for `2·S·L` basis coefficients;
+//! * the offline channel trainer extracts Karhunen–Loève bases with a
+//!   truncated SVD of the fingerprint matrix.
+//!
+//! Everything is dense and small (tens of unknowns), so simple, robust
+//! algorithms — normal equations with partially pivoted Gaussian elimination,
+//! and one-sided Jacobi SVD — are the right tools; no external linear algebra
+//! crate is needed.
+
+use crate::complex::C64;
+
+// ---------------------------------------------------------------------------
+// Real matrices
+// ---------------------------------------------------------------------------
+
+/// Dense row-major real matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Mat::from_vec: shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose.
+    pub fn t(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "matmul: inner dimension mismatch");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum())
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solve the square system `A x = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` if `A` is (numerically) singular.
+pub fn gauss_solve(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "gauss_solve: matrix must be square");
+    assert_eq!(a.rows(), b.len(), "gauss_solve: rhs length mismatch");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = b.to_vec();
+
+    for k in 0..n {
+        // Partial pivot.
+        let (piv, pmax) = (k..n)
+            .map(|i| (i, m[(i, k)].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))?;
+        if pmax < 1e-300 {
+            return None;
+        }
+        if piv != k {
+            for j in 0..n {
+                let t = m[(k, j)];
+                m[(k, j)] = m[(piv, j)];
+                m[(piv, j)] = t;
+            }
+            v.swap(k, piv);
+        }
+        for i in k + 1..n {
+            let f = m[(i, k)] / m[(k, k)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in k..n {
+                let t = m[(k, j)] * f;
+                m[(i, j)] -= t;
+            }
+            v[i] -= v[k] * f;
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = v[i];
+        for j in i + 1..n {
+            s -= m[(i, j)] * x[j];
+        }
+        x[i] = s / m[(i, i)];
+    }
+    Some(x)
+}
+
+/// Least-squares solution of the (possibly tall) system `A x ≈ b` via the
+/// normal equations with a small Tikhonov ridge for conditioning.
+///
+/// Returns `None` if even the regularized system is singular.
+pub fn lstsq(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), b.len(), "lstsq: rhs length mismatch");
+    let at = a.t();
+    let mut ata = at.matmul(a);
+    let atb = at.matvec(b);
+    // Ridge scaled to the matrix magnitude keeps near-rank-deficient systems
+    // (e.g. online training with correlated patterns) solvable and stable.
+    let ridge = 1e-12 * ata.fro_norm().max(1e-300) / ata.rows() as f64;
+    for i in 0..ata.rows() {
+        ata[(i, i)] += ridge;
+    }
+    gauss_solve(&ata, &atb)
+}
+
+// ---------------------------------------------------------------------------
+// Complex matrices
+// ---------------------------------------------------------------------------
+
+/// Dense row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![C64::default(); rows * cols],
+        }
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "CMat::from_vec: shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Conjugate transpose `Aᴴ`.
+    pub fn h(&self) -> CMat {
+        let mut out = CMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.cols, rhs.rows, "CMat::matmul: dimension mismatch");
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.norm_sqr() == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let t = a * rhs[(k, j)];
+                    out[(i, j)] += t;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(x.len(), self.cols, "CMat::matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solve the square complex system `A x = b` by Gaussian elimination with
+/// partial pivoting on `|a_ik|`. Returns `None` when singular.
+pub fn gauss_solve_c(a: &CMat, b: &[C64]) -> Option<Vec<C64>> {
+    assert_eq!(a.rows(), a.cols(), "gauss_solve_c: matrix must be square");
+    assert_eq!(a.rows(), b.len(), "gauss_solve_c: rhs length mismatch");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = b.to_vec();
+
+    for k in 0..n {
+        let (piv, pmax) = (k..n)
+            .map(|i| (i, m[(i, k)].norm_sqr()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))?;
+        if pmax < 1e-300 {
+            return None;
+        }
+        if piv != k {
+            for j in 0..n {
+                let t = m[(k, j)];
+                m[(k, j)] = m[(piv, j)];
+                m[(piv, j)] = t;
+            }
+            v.swap(k, piv);
+        }
+        for i in k + 1..n {
+            let f = m[(i, k)] / m[(k, k)];
+            if f.norm_sqr() == 0.0 {
+                continue;
+            }
+            for j in k..n {
+                let t = m[(k, j)] * f;
+                m[(i, j)] -= t;
+            }
+            let t = v[k] * f;
+            v[i] -= t;
+        }
+    }
+    let mut x = vec![C64::default(); n];
+    for i in (0..n).rev() {
+        let mut s = v[i];
+        for j in i + 1..n {
+            s -= m[(i, j)] * x[j];
+        }
+        x[i] = s / m[(i, i)];
+    }
+    Some(x)
+}
+
+/// Complex least squares `min ‖A x − b‖²` via the normal equations
+/// `AᴴA x = Aᴴ b` with a small ridge.
+pub fn lstsq_c(a: &CMat, b: &[C64]) -> Option<Vec<C64>> {
+    assert_eq!(a.rows(), b.len(), "lstsq_c: rhs length mismatch");
+    let ah = a.h();
+    let mut aha = ah.matmul(a);
+    let ahb = ah.matvec(b);
+    let scale: f64 = (0..aha.rows()).map(|i| aha[(i, i)].re).sum::<f64>() / aha.rows() as f64;
+    let ridge = 1e-12 * scale.max(1e-300);
+    for i in 0..aha.rows() {
+        aha[(i, i)] += C64::real(ridge);
+    }
+    gauss_solve_c(&aha, &ahb)
+}
+
+// ---------------------------------------------------------------------------
+// Widely-linear (preamble) fit
+// ---------------------------------------------------------------------------
+
+/// Result of the widely-linear fit `y ≈ a·x + b·x* + c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WidelyLinearFit {
+    /// Rotation-and-scale coefficient.
+    pub a: C64,
+    /// I/Q-imbalance (conjugate) coefficient.
+    pub b: C64,
+    /// DC offset.
+    pub c: C64,
+    /// Residual sum of squares `‖y − (a x + b x* + c)‖²`.
+    pub residual: f64,
+}
+
+impl WidelyLinearFit {
+    /// Apply the fitted correction to a sample: maps a *received* sample into
+    /// the *reference* frame, `ŷ = a·z + b·z* + c`.
+    #[inline]
+    pub fn apply(&self, z: C64) -> C64 {
+        self.a * z + self.b * z.conj() + self.c
+    }
+}
+
+/// Fit `y ≈ a·x + b·x* + c` in the least-squares sense (§4.3.1).
+///
+/// The model is linear in `(a, b, c)` because `x*` is just data, so this is a
+/// 3-unknown complex least-squares problem solved with the normal equations.
+///
+/// # Panics
+/// Panics if the slices have different lengths or fewer than 3 samples.
+pub fn widely_linear_fit(x: &[C64], y: &[C64]) -> WidelyLinearFit {
+    assert_eq!(x.len(), y.len(), "widely_linear_fit: length mismatch");
+    assert!(x.len() >= 3, "widely_linear_fit: need at least 3 samples");
+    let n = x.len();
+    let mut a = CMat::zeros(n, 3);
+    for (i, &xi) in x.iter().enumerate() {
+        a[(i, 0)] = xi;
+        a[(i, 1)] = xi.conj();
+        a[(i, 2)] = C64::real(1.0);
+    }
+    let sol = lstsq_c(&a, y).unwrap_or_else(|| vec![C64::default(); 3]);
+    let fitted = a.matvec(&sol);
+    let residual = crate::complex::dist_sqr(&fitted, y);
+    WidelyLinearFit {
+        a: sol[0],
+        b: sol[1],
+        c: sol[2],
+        residual,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-sided Jacobi SVD (real)
+// ---------------------------------------------------------------------------
+
+/// Thin singular value decomposition `A = U Σ Vᵀ`.
+///
+/// `u` is rows×r, `sigma` has r = min(rows, cols) non-negative entries in
+/// descending order, and `v` is cols×r.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (one per column).
+    pub u: Mat,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (one per column).
+    pub v: Mat,
+}
+
+/// Compute the thin SVD of a real matrix with the one-sided Jacobi method.
+///
+/// Robust and simple; cost is O(rows·cols²·sweeps), fine for the fingerprint
+/// matrices of the offline channel trainer (thousands of rows, tens of
+/// columns).
+pub fn jacobi_svd(a: &Mat) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    // Work on AᵀA implicitly by rotating columns of a working copy of A.
+    let mut w = a.clone();
+    let mut v = Mat::identity(n);
+
+    let max_sweeps = 60;
+    let eps = 1e-14;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                // Compute the 2x2 Gram block for columns p, q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(1e-300));
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation zeroing the off-diagonal Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = c * wp - s * wq;
+                    w[(i, q)] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < 1e-13 {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalize to get U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&x, &y| norms[y].total_cmp(&norms[x]));
+
+    let r = n.min(m);
+    let mut u = Mat::zeros(m, r);
+    let mut vv = Mat::zeros(n, r);
+    let mut sigma = Vec::with_capacity(r);
+    for (k, &j) in order.iter().take(r).enumerate() {
+        let s = norms[j];
+        sigma.push(s);
+        if s > 1e-300 {
+            for i in 0..m {
+                u[(i, k)] = w[(i, j)] / s;
+            }
+        }
+        for i in 0..n {
+            vv[(i, k)] = v[(i, j)];
+        }
+    }
+    Svd { u, sigma, v: vv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn gauss_solves_2x2() {
+        let a = Mat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = gauss_solve(&a, &[5.0, 10.0]).unwrap();
+        assert!(close(x[0], 1.0, 1e-12));
+        assert!(close(x[1], 3.0, 1e-12));
+    }
+
+    #[test]
+    fn gauss_detects_singular() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(gauss_solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn gauss_needs_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let a = Mat::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = gauss_solve(&a, &[2.0, 3.0]).unwrap();
+        assert!(close(x[0], 3.0, 1e-12));
+        assert!(close(x[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn lstsq_recovers_line() {
+        // Fit y = 2x + 1 from noiseless points.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut a = Mat::zeros(4, 2);
+        let mut b = vec![0.0; 4];
+        for (i, &x) in xs.iter().enumerate() {
+            a[(i, 0)] = x;
+            a[(i, 1)] = 1.0;
+            b[i] = 2.0 * x + 1.0;
+        }
+        let sol = lstsq(&a, &b).unwrap();
+        assert!(close(sol[0], 2.0, 1e-9));
+        assert!(close(sol[1], 1.0, 1e-9));
+    }
+
+    #[test]
+    fn complex_solve_round_trip() {
+        let a = CMat::from_vec(
+            2,
+            2,
+            vec![
+                C64::new(1.0, 1.0),
+                C64::new(0.0, -1.0),
+                C64::new(2.0, 0.0),
+                C64::new(1.0, 1.0),
+            ],
+        );
+        let x_true = vec![C64::new(1.0, -2.0), C64::new(0.5, 0.5)];
+        let b = a.matvec(&x_true);
+        let x = gauss_solve_c(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!(xi.dist(*ti) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lstsq_c_overdetermined() {
+        // 5 equations, 2 unknowns, consistent system.
+        let mut a = CMat::zeros(5, 2);
+        let x_true = vec![C64::new(0.3, 0.7), C64::new(-1.0, 0.2)];
+        let mut b = vec![C64::default(); 5];
+        for i in 0..5 {
+            a[(i, 0)] = C64::new(i as f64, 1.0);
+            a[(i, 1)] = C64::new((i * i) as f64, 0.5);
+            b[i] = a[(i, 0)] * x_true[0] + a[(i, 1)] * x_true[1];
+        }
+        let x = lstsq_c(&a, &b).unwrap();
+        assert!(x[0].dist(x_true[0]) < 1e-8);
+        assert!(x[1].dist(x_true[1]) < 1e-8);
+    }
+
+    #[test]
+    fn widely_linear_recovers_rotation_offset_imbalance() {
+        // Synthesize y = a x + b x* + c exactly and recover the coefficients.
+        let a = C64::from_polar(0.8, 0.6);
+        let b = C64::new(0.05, -0.02);
+        let c = C64::new(0.3, -0.1);
+        let x: Vec<C64> = (0..32)
+            .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.71).cos()))
+            .collect();
+        let y: Vec<C64> = x.iter().map(|&z| a * z + b * z.conj() + c).collect();
+        let fit = widely_linear_fit(&x, &y);
+        assert!(fit.a.dist(a) < 1e-8, "a: {} vs {}", fit.a, a);
+        assert!(fit.b.dist(b) < 1e-8);
+        assert!(fit.c.dist(c) < 1e-8);
+        assert!(fit.residual < 1e-12);
+    }
+
+    #[test]
+    fn widely_linear_apply_matches_model() {
+        let fit = WidelyLinearFit {
+            a: C64::new(0.0, 1.0),
+            b: C64::default(),
+            c: C64::real(1.0),
+            residual: 0.0,
+        };
+        let out = fit.apply(C64::real(2.0));
+        assert!(out.dist(C64::new(1.0, 2.0)) < 1e-12);
+    }
+
+    #[test]
+    fn svd_reconstructs_matrix() {
+        let a = Mat::from_vec(
+            4,
+            3,
+            vec![
+                1.0, 2.0, 3.0, //
+                4.0, 5.0, 6.0, //
+                7.0, 8.0, 10.0, //
+                0.5, -1.0, 2.0,
+            ],
+        );
+        let svd = jacobi_svd(&a);
+        // Rebuild A = U Σ Vᵀ.
+        let mut us = svd.u.clone();
+        for j in 0..svd.sigma.len() {
+            for i in 0..us.rows() {
+                us[(i, j)] *= svd.sigma[j];
+            }
+        }
+        let rec = us.matmul(&svd.v.t());
+        let mut err = 0.0f64;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                err = err.max((rec[(i, j)] - a[(i, j)]).abs());
+            }
+        }
+        assert!(err < 1e-9, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn svd_singular_values_sorted_and_orthonormal_u() {
+        let a = Mat::from_vec(5, 3, (0..15).map(|i| ((i * 7 % 13) as f64) - 6.0).collect());
+        let svd = jacobi_svd(&a);
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Columns of U orthonormal.
+        for p in 0..svd.u.cols() {
+            for q in 0..svd.u.cols() {
+                let d: f64 = (0..svd.u.rows()).map(|i| svd.u[(i, p)] * svd.u[(i, q)]).sum();
+                let expect = if p == q { 1.0 } else { 0.0 };
+                assert!(close(d, expect, 1e-9), "U not orthonormal at ({p},{q}): {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_rank_one() {
+        // Outer product has exactly one non-negligible singular value.
+        let u = [1.0, 2.0, 3.0];
+        let v = [4.0, 5.0];
+        let mut a = Mat::zeros(3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                a[(i, j)] = u[i] * v[j];
+            }
+        }
+        let svd = jacobi_svd(&a);
+        assert!(svd.sigma[0] > 1.0);
+        assert!(svd.sigma[1] < 1e-10);
+    }
+}

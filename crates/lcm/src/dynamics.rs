@@ -1,0 +1,300 @@
+//! Nonlinear liquid-crystal switching dynamics.
+//!
+//! This is the substitute for the paper's physical LCM (see DESIGN.md §1).
+//! The model is a two-state continuous-time system per pixel, integrated with
+//! fixed-step RK2 at the simulation rate:
+//!
+//! * `x ∈ [0, 1]` — the **charged fraction** (order parameter): the fraction
+//!   of the pixel's light emitted at the charged polarization. The optical
+//!   output is the polarization contrast `g = 2x − 1`.
+//! * `u ∈ [0, 1]` — **director readiness**: a slow internal state modelling
+//!   the backflow/disorder that builds up while the cell relaxes. Charging
+//!   torque is gated by `u`, so a pixel that has been discharged for longer
+//!   ramps up *later* — the bit-history "tail effect" of Fig. 11a.
+//!
+//! Dynamics (`e = 1` field on, `e = 0` field off):
+//!
+//! ```text
+//! charging:     dx/dt = (1 − x) · u / τ_c          du/dt = (1 − u) / τ_uc
+//! discharging:  dx/dt = −x·(1 − x + δ) / τ_r       du/dt = −u / τ_u
+//! ```
+//!
+//! The logistic relaxation with the δ-offset reproduces the measured shape of
+//! Fig. 3: a ~1 ms near-flat plateau at the start of discharge (elastic
+//! torque vanishes at the aligned state) followed by an S-curve decay, with
+//! the cell optically discharged roughly 3.5–4 ms after the field drops. The
+//! default constants are asserted against the paper's timings in the tests
+//! below.
+
+/// Physical constants of one liquid-crystal pixel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LcParams {
+    /// Charging time constant τ_c, seconds.
+    pub tau_charge: f64,
+    /// Relaxation (discharge) time constant τ_r, seconds.
+    pub tau_relax: f64,
+    /// Plateau offset δ: relative relaxation torque at the fully charged
+    /// state. Smaller δ ⇒ longer flat top.
+    pub delta: f64,
+    /// Readiness recovery time constant τ_uc while charging, seconds.
+    pub tau_ready_up: f64,
+    /// Readiness decay time constant τ_u while discharging, seconds.
+    pub tau_ready_down: f64,
+}
+
+impl Default for LcParams {
+    /// Constants tuned to the paper's Fig. 3 / Tab. 1 timings: charge usable
+    /// within τ₁ ≈ 0.5 ms, ~0.8–1 ms discharge plateau, optically discharged
+    /// by ≈ 4 ms.
+    fn default() -> Self {
+        Self {
+            tau_charge: 8.0e-5,     // 0.08 ms
+            tau_relax: 7.0e-4,      // 0.70 ms
+            delta: 0.05,
+            tau_ready_up: 1.0e-4,   // 0.10 ms
+            tau_ready_down: 1.2e-3, // 1.2 ms
+        }
+    }
+}
+
+impl LcParams {
+    /// A hypothetical much faster liquid crystal (the paper's outlook cites
+    /// ferroelectric LCs with ~20 µs restoration): every time constant scaled
+    /// by `factor` < 1.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            tau_charge: self.tau_charge * factor,
+            tau_relax: self.tau_relax * factor,
+            delta: self.delta,
+            tau_ready_up: self.tau_ready_up * factor,
+            tau_ready_down: self.tau_ready_down * factor,
+        }
+    }
+}
+
+/// Instantaneous state of one pixel's liquid-crystal layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LcState {
+    /// Charged fraction x ∈ [0, 1].
+    pub x: f64,
+    /// Director readiness u ∈ [0, 1].
+    pub u: f64,
+}
+
+impl LcState {
+    /// Fully relaxed (long-discharged) state.
+    pub fn relaxed() -> Self {
+        Self { x: 0.0, u: 0.0 }
+    }
+
+    /// Fully charged steady state.
+    pub fn charged() -> Self {
+        Self { x: 1.0, u: 1.0 }
+    }
+
+    /// Polarization contrast `g = 2x − 1 ∈ [−1, 1]`.
+    #[inline]
+    pub fn contrast(&self) -> f64 {
+        2.0 * self.x - 1.0
+    }
+}
+
+#[inline]
+fn derivs(p: &LcParams, s: LcState, field_on: bool) -> (f64, f64) {
+    if field_on {
+        (
+            (1.0 - s.x) * s.u / p.tau_charge,
+            (1.0 - s.u) / p.tau_ready_up,
+        )
+    } else {
+        (
+            -s.x * (1.0 - s.x + p.delta) / p.tau_relax,
+            -s.u / p.tau_ready_down,
+        )
+    }
+}
+
+/// Advance the state by `dt` seconds with the drive field on/off (one RK2 /
+/// midpoint step; stable and accurate at the 25 µs steps the simulator uses).
+pub fn step(p: &LcParams, s: LcState, field_on: bool, dt: f64) -> LcState {
+    let (dx1, du1) = derivs(p, s, field_on);
+    let mid = LcState {
+        x: (s.x + 0.5 * dt * dx1).clamp(0.0, 1.0),
+        u: (s.u + 0.5 * dt * du1).clamp(0.0, 1.0),
+    };
+    let (dx2, du2) = derivs(p, mid, field_on);
+    LcState {
+        x: (s.x + dt * dx2).clamp(0.0, 1.0),
+        u: (s.u + dt * du2).clamp(0.0, 1.0),
+    }
+}
+
+/// Simulate the contrast trajectory for a drive schedule given as per-sample
+/// booleans, starting from `s0`; returns one contrast value per sample
+/// (state *after* each step).
+pub fn simulate(p: &LcParams, s0: LcState, drive: &[bool], dt: f64) -> Vec<f64> {
+    let mut s = s0;
+    drive
+        .iter()
+        .map(|&on| {
+            s = step(p, s, on, dt);
+            s.contrast()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 12.5e-6; // 80 kHz integration for the checks
+
+    fn charge_from_relaxed(p: &LcParams, dur: f64) -> Vec<f64> {
+        let n = (dur / DT) as usize;
+        simulate(p, LcState::relaxed(), &vec![true; n], DT)
+    }
+
+    /// x trajectory while discharging from fully charged.
+    fn discharge_from_charged(p: &LcParams, dur: f64) -> Vec<f64> {
+        let n = (dur / DT) as usize;
+        simulate(p, LcState::charged(), &vec![false; n], DT)
+            .iter()
+            .map(|g| (g + 1.0) / 2.0)
+            .collect()
+    }
+
+    fn first_time_below(xs: &[f64], thr: f64) -> Option<f64> {
+        xs.iter().position(|&x| x < thr).map(|i| i as f64 * DT)
+    }
+
+    fn first_time_above(xs: &[f64], thr: f64) -> Option<f64> {
+        xs.iter().position(|&x| x > thr).map(|i| i as f64 * DT)
+    }
+
+    #[test]
+    fn charging_completes_within_half_millisecond() {
+        // Paper Tab. 1: τ₁ (charging phase) ≈ 0.5 ms.
+        let g = charge_from_relaxed(&LcParams::default(), 2e-3);
+        let t95 = first_time_above(&g, 0.9).expect("never charged");
+        assert!(
+            t95 > 0.1e-3 && t95 < 0.5e-3,
+            "charge to 95% of swing took {:.3} ms",
+            t95 * 1e3
+        );
+    }
+
+    #[test]
+    fn discharge_has_flat_plateau() {
+        // Fig. 3: ~1 ms relatively flat pulse at the start of discharge.
+        let x = discharge_from_charged(&LcParams::default(), 8e-3);
+        let t_plateau = first_time_below(&x, 0.9).expect("never started dropping");
+        assert!(
+            t_plateau > 0.5e-3 && t_plateau < 1.5e-3,
+            "plateau lasted {:.3} ms",
+            t_plateau * 1e3
+        );
+    }
+
+    #[test]
+    fn discharge_completes_near_four_milliseconds() {
+        // Fig. 3: discharging lasts ≈ 4 ms.
+        let x = discharge_from_charged(&LcParams::default(), 10e-3);
+        let t_done = first_time_below(&x, 0.05).expect("never discharged");
+        assert!(
+            t_done > 2.5e-3 && t_done < 5.0e-3,
+            "discharge took {:.3} ms",
+            t_done * 1e3
+        );
+    }
+
+    #[test]
+    fn asymmetry_charging_much_faster() {
+        let p = LcParams::default();
+        let g = charge_from_relaxed(&p, 4e-3);
+        let x = discharge_from_charged(&p, 10e-3);
+        let t_up = first_time_above(&g, 0.9).unwrap();
+        let t_down = first_time_below(&x, 0.05).unwrap();
+        assert!(
+            t_down / t_up > 5.0,
+            "asymmetry only {:.1}× (up {:.3} ms, down {:.3} ms)",
+            t_down / t_up,
+            t_up * 1e3,
+            t_down * 1e3
+        );
+    }
+
+    #[test]
+    fn state_stays_bounded() {
+        let p = LcParams::default();
+        let mut s = LcState { x: 0.3, u: 0.7 };
+        // Alternate aggressively; state must remain in the unit box.
+        for i in 0..10_000 {
+            s = step(&p, s, i % 7 < 3, 50e-6);
+            assert!((0.0..=1.0).contains(&s.x), "x escaped: {}", s.x);
+            assert!((0.0..=1.0).contains(&s.u), "u escaped: {}", s.u);
+        }
+    }
+
+    #[test]
+    fn tail_effect_history_dependence() {
+        // A pixel discharged for 3 slots ramps later than one discharged for
+        // a single slot: the paper's Fig. 11a effect.
+        let p = LcParams::default();
+        let slot = 0.5e-3;
+        let n_slot = (slot / DT) as usize;
+
+        // Prefix A: charged 3 slots then discharged 1 slot.
+        let mut drive_a = vec![true; 3 * n_slot];
+        drive_a.extend(vec![false; n_slot]);
+        // Prefix B: charged 1 slot then discharged 3 slots.
+        let mut drive_b = vec![true; n_slot];
+        drive_b.extend(vec![false; 3 * n_slot]);
+        // Both then charge.
+        drive_a.extend(vec![true; 2 * n_slot]);
+        drive_b.extend(vec![true; 2 * n_slot]);
+
+        let ga = simulate(&p, LcState::relaxed(), &drive_a, DT);
+        let gb = simulate(&p, LcState::relaxed(), &drive_b, DT);
+        // Time (within the final charge) to reach contrast 0.5.
+        let start_a = 4 * n_slot;
+        let start_b = 4 * n_slot;
+        let ta = ga[start_a..].iter().position(|&g| g > 0.5).unwrap();
+        let tb = gb[start_b..].iter().position(|&g| g > 0.5).unwrap();
+        assert!(
+            tb > ta,
+            "longer discharge should delay the ramp (ta={ta}, tb={tb} samples)"
+        );
+    }
+
+    #[test]
+    fn rk2_insensitive_to_step_size() {
+        // Halving dt should barely change the trajectory (integration is not
+        // the dominant error source).
+        let p = LcParams::default();
+        let n1 = 200;
+        let coarse = simulate(&p, LcState::relaxed(), &vec![true; n1], 25e-6);
+        let fine = simulate(&p, LcState::relaxed(), &vec![true; n1 * 2], 12.5e-6);
+        for i in 0..n1 {
+            assert!(
+                (coarse[i] - fine[2 * i + 1]).abs() < 0.02,
+                "divergence at {i}: {} vs {}",
+                coarse[i],
+                fine[2 * i + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_params_speed_up() {
+        let fast = LcParams::default().scaled(0.1);
+        let g = charge_from_relaxed(&fast, 0.5e-3);
+        let t = first_time_above(&g, 0.9).expect("fast LC never charged");
+        assert!(t < 0.06e-3, "fast LC charge took {:.4} ms", t * 1e3);
+    }
+
+    #[test]
+    fn contrast_maps_endpoints() {
+        assert_eq!(LcState::relaxed().contrast(), -1.0);
+        assert_eq!(LcState::charged().contrast(), 1.0);
+    }
+}

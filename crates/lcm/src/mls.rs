@@ -1,0 +1,124 @@
+//! Maximum-length sequences (MLS / m-sequences).
+//!
+//! The channel trainer and the LCM emulator excite pixels with V-th order
+//! m-sequences (§5.2, footnote 5): a period of 2^V − 1 bits in which every
+//! nonzero V-bit window appears exactly once, which is precisely what is
+//! needed to collect one fingerprint per bit history in minimal time.
+
+/// Primitive-polynomial feedback taps (1-indexed bit positions) for Fibonacci
+/// LFSRs of each supported order. Standard table; each yields a full period
+/// of 2^order − 1.
+const TAPS: [(usize, &[usize]); 16] = [
+    (2, &[2, 1]),
+    (3, &[3, 2]),
+    (4, &[4, 3]),
+    (5, &[5, 3]),
+    (6, &[6, 5]),
+    (7, &[7, 6]),
+    (8, &[8, 6, 5, 4]),
+    (9, &[9, 5]),
+    (10, &[10, 7]),
+    (11, &[11, 9]),
+    (12, &[12, 11, 10, 4]),
+    (13, &[13, 12, 11, 8]),
+    (14, &[14, 13, 12, 2]),
+    (15, &[15, 14]),
+    (16, &[16, 15, 13, 4]),
+    (17, &[17, 14]),
+];
+
+/// Generate one full period (2^order − 1 bits) of the m-sequence of the given
+/// order, starting from the all-ones register state.
+///
+/// # Panics
+/// Panics if `order` is outside `2..=17`.
+pub fn mls(order: usize) -> Vec<bool> {
+    let taps = TAPS
+        .iter()
+        .find(|(o, _)| *o == order)
+        .unwrap_or_else(|| panic!("mls: order {order} not supported (2..=17)"))
+        .1;
+    let period = (1usize << order) - 1;
+    // Galois LFSR: the mask encodes the primitive polynomial's non-leading
+    // terms at bit t−1 for each tap t (the tap at `order` reinserts the
+    // output at the register top).
+    let mask: u32 = taps.iter().fold(0, |m, &t| m | 1 << (t - 1));
+    let mut reg: u32 = 1;
+    let mut out = Vec::with_capacity(period);
+    for _ in 0..period {
+        let bit = reg & 1 == 1;
+        out.push(bit);
+        reg >>= 1;
+        if bit {
+            reg ^= mask;
+        }
+    }
+    out
+}
+
+/// Check the defining window property: every nonzero `order`-bit window
+/// appears exactly once per (cyclic) period. Used in tests and as a guard
+/// when adding new tap entries.
+pub fn has_window_property(seq: &[bool], order: usize) -> bool {
+    let period = (1usize << order) - 1;
+    if seq.len() != period {
+        return false;
+    }
+    let mut seen = vec![false; 1 << order];
+    for i in 0..period {
+        let mut w = 0usize;
+        for k in 0..order {
+            w = (w << 1) | seq[(i + k) % period] as usize;
+        }
+        if w == 0 || seen[w] {
+            return false;
+        }
+        seen[w] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_lengths() {
+        for order in 2..=12 {
+            assert_eq!(mls(order).len(), (1 << order) - 1);
+        }
+    }
+
+    #[test]
+    fn balance_property() {
+        // An m-sequence has exactly 2^{V−1} ones and 2^{V−1}−1 zeros.
+        for order in 2..=12 {
+            let s = mls(order);
+            let ones = s.iter().filter(|&&b| b).count();
+            assert_eq!(ones, 1 << (order - 1), "order {order}");
+        }
+    }
+
+    #[test]
+    fn window_property_small_orders() {
+        for order in 2..=14 {
+            assert!(
+                has_window_property(&mls(order), order),
+                "order {order} fails the de Bruijn-like window property"
+            );
+        }
+    }
+
+    #[test]
+    fn window_property_order_16_and_17() {
+        // The orders the paper actually uses for emulation references.
+        assert!(has_window_property(&mls(16), 16));
+        assert!(has_window_property(&mls(17), 17));
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn rejects_unsupported_order() {
+        let _ = mls(25);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the liquid-crystal model.
+
+use proptest::prelude::*;
+use retroturbo_lcm::dynamics::{simulate, step, LcParams, LcState};
+use retroturbo_lcm::mls::{has_window_property, mls};
+use retroturbo_lcm::{DriveCommand, Heterogeneity, Panel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn state_never_escapes_unit_box(x0 in 0.0f64..1.0, u0 in 0.0f64..1.0,
+                                    drive in any::<u128>(), dt_us in 5.0f64..100.0) {
+        let p = LcParams::default();
+        let mut s = LcState { x: x0, u: u0 };
+        for k in 0..256 {
+            s = step(&p, s, (drive >> (k % 128)) & 1 == 1, dt_us * 1e-6);
+            prop_assert!((0.0..=1.0).contains(&s.x));
+            prop_assert!((0.0..=1.0).contains(&s.u));
+        }
+    }
+
+    #[test]
+    fn discharge_is_monotone_decreasing(x0 in 0.01f64..1.0) {
+        let p = LcParams::default();
+        let mut s = LcState { x: x0, u: 0.5 };
+        for _ in 0..400 {
+            let next = step(&p, s, false, 25e-6);
+            prop_assert!(next.x <= s.x + 1e-12);
+            s = next;
+        }
+    }
+
+    #[test]
+    fn long_drive_converges_to_rail(on in any::<bool>()) {
+        let p = LcParams::default();
+        let drive = vec![on; 1600]; // 40 ms
+        let g = simulate(&p, LcState { x: 0.5, u: 0.5 }, &drive, 25e-6);
+        let last = *g.last().unwrap();
+        if on {
+            prop_assert!(last > 0.99, "charge rail: {last}");
+        } else {
+            prop_assert!(last < -0.99, "discharge rail: {last}");
+        }
+    }
+
+    #[test]
+    fn mls_window_property_random_order(order in 2usize..12) {
+        let s = mls(order);
+        prop_assert!(has_window_property(&s, order));
+    }
+
+    #[test]
+    fn panel_output_is_superposition(l in 1usize..4, pattern in any::<u16>()) {
+        // Driving modules together equals the sum of driving them alone
+        // (minus the rest-baseline counted once per extra run) — the
+        // linear-superposition property DSM relies on (§4.1).
+        let fs = 40_000.0;
+        let n = 200;
+        let mk = || Panel::retroturbo(l, 2, LcParams::default(), Heterogeneity::none(), 0);
+        let modules = 2 * l;
+        let cmds_for = |m: usize| vec![
+            DriveCommand { sample: 0, module: m, level: ((pattern >> m) & 3) as usize },
+        ];
+
+        let mut joint_panel = mk();
+        let all_cmds: Vec<DriveCommand> = (0..modules).flat_map(cmds_for).collect();
+        let joint = joint_panel.simulate(&all_cmds, n, fs);
+
+        let mut sum = vec![retroturbo_dsp::C64::default(); n];
+        for m in 0..modules {
+            let mut p = mk();
+            let solo = p.simulate(&cmds_for(m), n, fs);
+            for (acc, &z) in sum.iter_mut().zip(solo.samples()) {
+                *acc += z;
+            }
+        }
+        // Each solo run includes the other modules' rest output; subtract
+        // the over-counted rest baselines ((modules−1) × full rest).
+        let rest = retroturbo_dsp::C64::new(-1.0, -1.0);
+        for (j, acc) in joint.samples().iter().zip(&sum) {
+            let corrected = *acc - rest * (modules as f64 - 1.0);
+            prop_assert!(j.dist(corrected) < 1e-9, "superposition violated");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Tag discovery: framed slotted ALOHA, RFID-style (§4.4).
+//!
+//! The reader opens inventory rounds of `w` response slots; each undiscovered
+//! tag answers in a uniformly random slot. Slots with exactly one responder
+//! yield a discovery (the reader acknowledges the tag ID); collision slots
+//! yield nothing. The window doubles when collisions dominate and halves
+//! when most slots are empty — the Q-algorithm's behaviour in powers of two.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of running discovery to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryOutcome {
+    /// Tag IDs in the order discovered.
+    pub order: Vec<u32>,
+    /// Inventory rounds used.
+    pub rounds: usize,
+    /// Total response slots consumed (the airtime cost).
+    pub slots_used: usize,
+}
+
+/// Run framed slotted ALOHA until every tag in `tag_ids` is discovered or
+/// `max_rounds` elapses.
+pub fn discover(tag_ids: &[u32], initial_window: usize, max_rounds: usize, seed: u64) -> DiscoveryOutcome {
+    assert!(initial_window >= 1, "discover: window must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pending: Vec<u32> = tag_ids.to_vec();
+    let mut out = DiscoveryOutcome {
+        order: Vec::with_capacity(tag_ids.len()),
+        rounds: 0,
+        slots_used: 0,
+    };
+    let mut w = initial_window;
+    while !pending.is_empty() && out.rounds < max_rounds {
+        out.rounds += 1;
+        out.slots_used += w;
+        // Each pending tag picks a slot.
+        let mut slot_of: Vec<(usize, u32)> = pending
+            .iter()
+            .map(|&id| (rng.gen_range(0..w), id))
+            .collect();
+        slot_of.sort_by_key(|&(s, _)| s);
+        // Singleton slots are discoveries.
+        let mut discovered = Vec::new();
+        let mut i = 0;
+        while i < slot_of.len() {
+            let mut j = i + 1;
+            while j < slot_of.len() && slot_of[j].0 == slot_of[i].0 {
+                j += 1;
+            }
+            if j - i == 1 {
+                discovered.push(slot_of[i].1);
+            }
+            i = j;
+        }
+        pending.retain(|id| !discovered.contains(id));
+        out.order.extend(discovered);
+        // Window adaptation: aim for w ≈ pending count.
+        if !pending.is_empty() {
+            if pending.len() > w {
+                w = (w * 2).min(1024);
+            } else if pending.len() * 4 < w && w > 1 {
+                w /= 2;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_all_tags() {
+        let ids: Vec<u32> = (0..50).collect();
+        let out = discover(&ids, 8, 1000, 1);
+        let mut sorted = out.order.clone();
+        sorted.sort();
+        assert_eq!(sorted, ids, "missing tags after {} rounds", out.rounds);
+    }
+
+    #[test]
+    fn single_tag_is_quick() {
+        let out = discover(&[42], 4, 100, 2);
+        assert_eq!(out.order, vec![42]);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn empty_set_trivial() {
+        let out = discover(&[], 8, 100, 3);
+        assert!(out.order.is_empty());
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.slots_used, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ids: Vec<u32> = (0..20).collect();
+        assert_eq!(discover(&ids, 8, 100, 7), discover(&ids, 8, 100, 7));
+    }
+
+    #[test]
+    fn airtime_scales_roughly_linearly() {
+        // Slotted ALOHA with adaptation: slots ≈ e·n; check it stays within
+        // a generous linear envelope rather than quadratic blowup.
+        let slots_20 = discover(&(0..20).collect::<Vec<_>>(), 8, 1000, 5).slots_used;
+        let slots_100 = discover(&(0..100).collect::<Vec<_>>(), 8, 1000, 5).slots_used;
+        assert!(
+            slots_100 < slots_20 * 12,
+            "airtime blew up: {slots_20} → {slots_100}"
+        );
+    }
+
+    #[test]
+    fn window_one_still_terminates() {
+        let ids: Vec<u32> = (0..5).collect();
+        let out = discover(&ids, 1, 10_000, 11);
+        let mut sorted = out.order.clone();
+        sorted.sort();
+        assert_eq!(sorted, ids);
+    }
+}

@@ -1,0 +1,20 @@
+//! # retroturbo-mac
+//!
+//! The thin master–slave MAC of §4.4: SNR-driven rate/coding adaptation,
+//! scramble/CRC/Reed–Solomon frame protection with stop-and-wait ARQ,
+//! framed-slotted-ALOHA tag discovery, and TDMA super-frame scheduling with
+//! throughput accounting (the machinery behind the Fig. 18c network
+//! experiment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arq;
+pub mod discovery;
+pub mod rate_table;
+pub mod tdma;
+
+pub use arq::{protect, protected_bits, recover, stop_and_wait, ArqStats, BitPipe};
+pub use discovery::{discover, DiscoveryOutcome};
+pub use rate_table::{CodingChoice, RateOption, RateTable};
+pub use tdma::{build_superframe, mean_throughput, ScheduledSlot, TagAssignment};

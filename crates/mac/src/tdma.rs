@@ -1,0 +1,117 @@
+//! TDMA uplink scheduling (§4.4).
+//!
+//! After discovery the reader runs a simple master–slave TDMA super-frame:
+//! each registered tag owns one uplink slot per round, sized for its
+//! assigned rate option (lower rates need proportionally more airtime for
+//! the same payload). The scheduler tracks per-tag airtime and computes the
+//! aggregate and per-tag throughput the Fig. 18c experiment reports.
+
+use crate::rate_table::RateOption;
+
+/// A registered tag with its assigned operating point.
+#[derive(Debug, Clone)]
+pub struct TagAssignment {
+    /// Tag identifier.
+    pub id: u32,
+    /// Uplink SNR the reader measured for this tag, dB.
+    pub snr_db: f64,
+    /// Assigned rate option.
+    pub rate: RateOption,
+}
+
+/// One scheduled uplink transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledSlot {
+    /// Owning tag.
+    pub tag_id: u32,
+    /// Slot start time, seconds from super-frame start.
+    pub start: f64,
+    /// Slot duration, seconds.
+    pub duration: f64,
+}
+
+/// Build one TDMA super-frame: every tag sends `payload_bits` of protected
+/// payload at its own rate; slots are laid back-to-back plus `guard`
+/// seconds. Returns the schedule and the super-frame duration.
+pub fn build_superframe(
+    tags: &[TagAssignment],
+    payload_bits: usize,
+    guard: f64,
+) -> (Vec<ScheduledSlot>, f64) {
+    let mut t = 0.0;
+    let mut slots = Vec::with_capacity(tags.len());
+    for tag in tags {
+        let airtime = payload_bits as f64 / tag.rate.goodput();
+        slots.push(ScheduledSlot {
+            tag_id: tag.id,
+            start: t,
+            duration: airtime,
+        });
+        t += airtime + guard;
+    }
+    (slots, t)
+}
+
+/// Mean per-tag goodput over a super-frame where every tag delivers
+/// `payload_bits` (assuming its operating point holds): total delivered bits
+/// divided by tags and super-frame duration.
+pub fn mean_throughput(tags: &[TagAssignment], payload_bits: usize, guard: f64) -> f64 {
+    if tags.is_empty() {
+        return 0.0;
+    }
+    let (_, dur) = build_superframe(tags, payload_bits, guard);
+    (tags.len() * payload_bits) as f64 / dur / tags.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate_table::RateTable;
+
+    fn tag(id: u32, snr: f64) -> TagAssignment {
+        let t = RateTable::profiled_default();
+        TagAssignment {
+            id,
+            snr_db: snr,
+            rate: t.select(snr, 0.0),
+        }
+    }
+
+    #[test]
+    fn slots_do_not_overlap() {
+        let tags = vec![tag(1, 60.0), tag(2, 30.0), tag(3, 10.0)];
+        let (slots, dur) = build_superframe(&tags, 1024, 1e-3);
+        for w in slots.windows(2) {
+            assert!(w[0].start + w[0].duration <= w[1].start + 1e-12);
+        }
+        let last = slots.last().unwrap();
+        assert!(last.start + last.duration <= dur);
+    }
+
+    #[test]
+    fn slower_tags_get_longer_slots() {
+        let tags = vec![tag(1, 60.0), tag(2, 5.0)];
+        let (slots, _) = build_superframe(&tags, 1024, 0.0);
+        assert!(slots[1].duration > slots[0].duration * 4.0);
+    }
+
+    #[test]
+    fn single_fast_tag_throughput() {
+        let tags = vec![tag(1, 60.0)];
+        let tp = mean_throughput(&tags, 32_000, 0.0);
+        assert!((tp - 32_000.0).abs() < 1.0, "throughput {tp}");
+    }
+
+    #[test]
+    fn mixed_network_bounded_by_slowest() {
+        // One slow tag inflates everyone's super-frame.
+        let fast_only = mean_throughput(&vec![tag(1, 60.0), tag(2, 60.0)], 8_000, 0.0);
+        let with_slow = mean_throughput(&vec![tag(1, 60.0), tag(2, -10.0)], 8_000, 0.0);
+        assert!(with_slow < fast_only / 4.0);
+    }
+
+    #[test]
+    fn empty_network_zero() {
+        assert_eq!(mean_throughput(&[], 100, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the MAC.
+
+use proptest::prelude::*;
+use retroturbo_mac::{discover, protect, protected_bits, recover, CodingChoice, RateTable};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn protect_recover_round_trip(payload in proptest::collection::vec(any::<u8>(), 1..200),
+                                  seed in 1u8..=0x7F,
+                                  coded in any::<bool>()) {
+        let coding = coded.then_some(CodingChoice { n: 255, k: 223 });
+        let bits = protect(&payload, coding, seed);
+        prop_assert_eq!(bits.len(), protected_bits(payload.len(), coding));
+        prop_assert_eq!(recover(&bits, payload.len(), coding, seed).unwrap(), payload);
+    }
+
+    #[test]
+    fn coded_recovery_survives_scattered_byte_errors(
+        payload in proptest::collection::vec(any::<u8>(), 16..64),
+        errs in proptest::collection::hash_set(0usize..255, 0..=16),
+        flip in 1u8..=255,
+    ) {
+        let coding = Some(CodingChoice { n: 255, k: 223 });
+        let mut bits = protect(&payload, coding, 0x5B);
+        for &e in &errs {
+            for b in 0..8 {
+                bits[e * 8 + b] ^= (flip >> (b % 8)) & 1 == 1;
+            }
+        }
+        prop_assert_eq!(recover(&bits, payload.len(), coding, 0x5B).unwrap(), payload);
+    }
+
+    #[test]
+    fn discovery_always_completes(n in 1usize..60, window in 1usize..32, seed in any::<u64>()) {
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let out = discover(&ids, window, 50_000, seed);
+        let mut sorted = out.order.clone();
+        sorted.sort();
+        prop_assert_eq!(sorted, ids);
+    }
+
+    #[test]
+    fn rate_selection_monotone(snr_lo in -20.0f64..70.0, d in 0.0f64..30.0) {
+        let t = RateTable::profiled_default();
+        let g_lo = t.select(snr_lo, 0.0).goodput();
+        let g_hi = t.select(snr_lo + d, 0.0).goodput();
+        prop_assert!(g_hi >= g_lo);
+    }
+}

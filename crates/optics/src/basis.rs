@@ -1,0 +1,197 @@
+//! The polarization constellation space and PQAM orthogonal bases (§4.2.1).
+//!
+//! The receiver carries two analyzer pairs at θ_r and θ_r + 45°. Writing the
+//! two differential measurements as one complex number `z = I + jQ`, a pixel
+//! with back polarizer at θ_t and polarization contrast `g ∈ [−1, 1]`
+//! contributes
+//!
+//! ```text
+//! z = g · e^{j·2(θ_t − θ_r)}
+//! ```
+//!
+//! because `cos 2(Δ)` lands on the I measurement and
+//! `cos 2(Δ − 45°) = sin 2(Δ)` on the Q measurement. Consequences, all
+//! encoded and tested here:
+//!
+//! * transmitter pixels at θ_t and θ_t + 45° map to *orthogonal* axes
+//!   (the I/Q basis of PQAM);
+//! * a physical roll of Δθ multiplies every contribution by `e^{j·2Δθ}` —
+//!   a pure rotation of the constellation, correctable at the receiver
+//!   (PQAM's rotation tolerance);
+//! * a pixel and its 90°-rotated twin map to opposite points (`e^{jπ} = −1`),
+//!   which is how a discharging pixel swings from +axis to −axis.
+
+use crate::angle::PolAngle;
+use crate::polarizer::PixelMixture;
+use retroturbo_dsp::C64;
+
+/// The complex constellation axis of a transmitter polarizer at `theta_t`
+/// seen by a receiver pair referenced at `theta_r`: `e^{j·2(θ_t − θ_r)}`.
+pub fn axis(theta_t: PolAngle, theta_r: PolAngle) -> C64 {
+    C64::cis(2.0 * (theta_t.radians() - theta_r.radians()))
+}
+
+/// Constellation rotation induced by a physical roll of `delta` radians
+/// between tag and reader: `e^{j·2Δ}` (angle doubling).
+pub fn roll_rotation(delta: f64) -> C64 {
+    C64::cis(2.0 * delta)
+}
+
+/// A reader analyzer pair: an I branch at `reference` and a Q branch at
+/// `reference + 45°`, each implemented as a polarization-based differential
+/// reception (PDR) pair in the prototype.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverPair {
+    /// The I-branch analyzer angle.
+    pub reference: PolAngle,
+}
+
+impl ReceiverPair {
+    /// Receiver pair referenced at `reference`.
+    pub fn new(reference: PolAngle) -> Self {
+        Self { reference }
+    }
+
+    /// The Q-branch analyzer angle (reference + 45°).
+    pub fn q_axis(&self) -> PolAngle {
+        self.reference.rotated(std::f64::consts::FRAC_PI_4)
+    }
+
+    /// Complex measurement of one pixel mixture (per unit pixel intensity),
+    /// using differential reception on each branch so the unpolarized/DC
+    /// pedestal cancels exactly:
+    /// `z = g·cos2Δ + j·g·sin2Δ = g·e^{j2Δ}`.
+    pub fn measure(&self, pixel: &PixelMixture) -> C64 {
+        let g = pixel.contrast();
+        g * axis(pixel.theta_t, self.reference)
+    }
+
+    /// Complex measurement of a weighted set of pixels (weights = pixel
+    /// intensities at the receiver), the superposition the photodiodes see.
+    pub fn measure_all(&self, pixels: &[(PixelMixture, f64)]) -> C64 {
+        pixels
+            .iter()
+            .map(|(p, w)| self.measure(p) * *w)
+            .sum()
+    }
+}
+
+/// Differential reception on a single branch: intensity difference between
+/// two photodiodes behind orthogonal front polarizers at `analyzer` and
+/// `analyzer + 90°` (PDR, reference \[11\] in the paper). For a pixel mixture this is
+/// `g·cos 2(θ_t − analyzer)` per unit intensity — pedestal-free and with
+/// twice the swing of a single photodiode.
+pub fn differential_measurement(pixel: &PixelMixture, analyzer: PolAngle) -> f64 {
+    let direct = pixel.received_intensity(analyzer);
+    let ortho = pixel.received_intensity(analyzer.orthogonal());
+    direct - ortho
+}
+
+/// The §4.2.1 orthogonality inner product between two transmitter angles in
+/// doubled-angle space: `(cos2θ₁, sin2θ₁)·(cos2θ₂, sin2θ₂) = cos 2(θ₁−θ₂)`.
+pub fn basis_inner_product(t1: PolAngle, t2: PolAngle) -> f64 {
+    t1.cos2() * t2.cos2() + t1.sin2() * t2.sin2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::PolAngle as A;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn paper_orthogonality_identity() {
+        // (cos2θ, sin2θ)·(cos2(θ+45°), sin2(θ+45°)) = 0 for every θ.
+        for deg in [0.0, 10.0, 33.0, 45.0, 80.0, 120.0] {
+            let t = A::from_degrees(deg);
+            let ip = basis_inner_product(t, t.rotated(std::f64::consts::FRAC_PI_4));
+            assert!(ip.abs() < 1e-12, "θ={deg}: {ip}");
+        }
+    }
+
+    #[test]
+    fn i_and_q_pixels_land_on_i_and_q_axes() {
+        let rx = ReceiverPair::new(A::from_degrees(0.0));
+        let i_pix = PixelMixture::new(A::from_degrees(0.0), 1.0);
+        let q_pix = PixelMixture::new(A::from_degrees(45.0), 1.0);
+        let zi = rx.measure(&i_pix);
+        let zq = rx.measure(&q_pix);
+        assert!(close(zi.re, 1.0) && close(zi.im, 0.0));
+        assert!(close(zq.re, 0.0) && close(zq.im, 1.0));
+    }
+
+    #[test]
+    fn discharged_pixel_is_opposite_point() {
+        let rx = ReceiverPair::new(A::from_degrees(0.0));
+        let charged = rx.measure(&PixelMixture::new(A::from_degrees(0.0), 1.0));
+        let relaxed = rx.measure(&PixelMixture::new(A::from_degrees(0.0), 0.0));
+        assert!(close(charged.re, -relaxed.re));
+        assert!(close(relaxed.re, -1.0));
+    }
+
+    #[test]
+    fn roll_rotates_constellation_by_double() {
+        // Physically roll the *transmitter* by 30°: every axis rotates by 60°.
+        let rx = ReceiverPair::new(A::from_degrees(0.0));
+        let delta = crate::angle::deg2rad(30.0);
+        let pix = PixelMixture::new(A::from_degrees(0.0).rotated(delta), 1.0);
+        let z = rx.measure(&pix);
+        let expect = roll_rotation(delta); // e^{j60°}
+        assert!(z.dist(expect) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_magnitude_full_rate() {
+        // PQAM's key property vs PDM: arbitrary misalignment never attenuates
+        // the constellation, it only rotates it.
+        let rx = ReceiverPair::new(A::from_degrees(0.0));
+        for deg in [0.0, 7.0, 22.5, 45.0, 61.0, 89.0] {
+            let delta = crate::angle::deg2rad(deg);
+            let zi = rx.measure(&PixelMixture::new(A::from_degrees(0.0).rotated(delta), 1.0));
+            let zq = rx.measure(&PixelMixture::new(A::from_degrees(45.0).rotated(delta), 1.0));
+            assert!(close(zi.abs(), 1.0), "roll {deg}: |zI| = {}", zi.abs());
+            assert!(close(zq.abs(), 1.0));
+            // The two axes stay mutually orthogonal under rotation.
+            assert!((zi * zq.conj()).re.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pdm_strawman_loses_signal_where_pqam_does_not() {
+        // A naive PDM receiver reads only its own fixed analyzer; at 45°
+        // misalignment its channel coefficient collapses to zero, while the
+        // PQAM complex measurement keeps full magnitude.
+        let pix = PixelMixture::new(A::from_degrees(45.0), 1.0); // rolled by 45°
+        let pdm = differential_measurement(&pix, A::from_degrees(0.0));
+        assert!(pdm.abs() < 1e-12, "PDM should be blind here");
+        let rx = ReceiverPair::new(A::from_degrees(0.0));
+        assert!(close(rx.measure(&pix).abs(), 1.0));
+    }
+
+    #[test]
+    fn differential_reception_cancels_pedestal() {
+        // For any ρ, PDR output is g·cos2Δ with no ρ-independent pedestal.
+        for rho_i in 0..=4 {
+            let rho = rho_i as f64 / 4.0;
+            let pix = PixelMixture::new(A::from_degrees(20.0), rho);
+            let d = differential_measurement(&pix, A::from_degrees(0.0));
+            let expect = pix.contrast() * (2.0 * crate::angle::deg2rad(20.0)).cos();
+            assert!(close(d, expect), "rho={rho}: {d} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn superposition_of_weighted_pixels() {
+        let rx = ReceiverPair::new(A::from_degrees(0.0));
+        let pixels = vec![
+            (PixelMixture::new(A::from_degrees(0.0), 1.0), 2.0),
+            (PixelMixture::new(A::from_degrees(45.0), 0.0), 1.0),
+        ];
+        let z = rx.measure_all(&pixels);
+        assert!(close(z.re, 2.0));
+        assert!(close(z.im, -1.0));
+    }
+}

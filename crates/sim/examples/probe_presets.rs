@@ -1,0 +1,18 @@
+use retroturbo_sim::emulation::EmulatedLink;
+use retroturbo_core::PhyConfig;
+use std::time::Instant;
+fn main() {
+    for (name, cfg) in [("1kbps", PhyConfig::default_1kbps()),
+                        ("4kbps", PhyConfig::default_4kbps()),
+                        ("8kbps", PhyConfig::default_8kbps()),
+                        ("16kbps", PhyConfig::default_16kbps()),
+                        ("32kbps", PhyConfig::emulation_32kbps())] {
+        let t0 = Instant::now();
+        print!("{name}:");
+        for snr in [-5.0, 0.0, 10.0, 20.0, 28.0, 33.0, 41.0, 48.0, 55.0] {
+            let ber = EmulatedLink::new(cfg, snr, 4).run_ber(2, 32, 9);
+            print!(" {snr}dB:{ber:.3}");
+        }
+        println!("  [{:?}]", t0.elapsed());
+    }
+}

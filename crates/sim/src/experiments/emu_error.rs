@@ -1,0 +1,99 @@
+//! Tab. 2: LCM emulation relative error versus m-sequence order V.
+//!
+//! The §5.2 emulator truncates the LC's memory to the last V drive bits.
+//! This driver measures, for each V, the relative L2 error of emulated
+//! waveforms against the deepest available reference (V = 17 in the paper;
+//! configurable here), over a set of random test drive sequences — exactly
+//! the paper's `√(Σ(f[i] − f_{V=17}[i])²)/N` protocol, reporting the maximum
+//! and average across sequences.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use retroturbo_lcm::fingerprint::{relative_error, FingerprintSet};
+use retroturbo_lcm::LcParams;
+
+/// One row of the Tab. 2 reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct MlsErrorRow {
+    /// m-sequence order V.
+    pub v: usize,
+    /// Maximum relative error across test sequences.
+    pub max: f64,
+    /// Average relative error across test sequences.
+    pub avg: f64,
+}
+
+/// Run the Tab. 2 sweep. `orders` are the V values to evaluate (the paper
+/// uses 4..=16 step 2), `v_ref` the reference depth (paper: 17),
+/// `n_seq`/`seq_slots` the test workload.
+pub fn tab2_mls_error(
+    orders: &[usize],
+    v_ref: usize,
+    n_seq: usize,
+    seq_slots: usize,
+    seed: u64,
+) -> Vec<MlsErrorRow> {
+    let params = LcParams::default();
+    let slot = 0.5e-3;
+    let fs = 40_000.0;
+    let reference = FingerprintSet::collect(&params, v_ref, slot, fs);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sequences: Vec<Vec<bool>> = (0..n_seq)
+        .map(|_| (0..seq_slots).map(|_| rng.gen()).collect())
+        .collect();
+    let ref_waves: Vec<Vec<f64>> = sequences
+        .iter()
+        .map(|s| reference.emulate_pixel(s))
+        .collect();
+
+    orders
+        .iter()
+        .map(|&v| {
+            let set = FingerprintSet::collect(&params, v, slot, fs);
+            let mut max = 0.0f64;
+            let mut sum = 0.0f64;
+            for (s, rw) in sequences.iter().zip(&ref_waves) {
+                let w = set.emulate_pixel(s);
+                let e = relative_error(&w, rw);
+                max = max.max(e);
+                sum += e;
+            }
+            MlsErrorRow {
+                v,
+                max,
+                avg: sum / n_seq as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_decreases_with_order() {
+        // A scaled-down version of the paper's sweep (reference V = 12).
+        let rows = tab2_mls_error(&[4, 6, 8, 10], 12, 6, 40, 1);
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(
+                w[0].avg >= w[1].avg,
+                "avg error rose: V={} {:.4} → V={} {:.4}",
+                w[0].v,
+                w[0].avg,
+                w[1].v,
+                w[1].avg
+            );
+        }
+        // Shape matches Tab. 2: V = 4 has double-digit-percent average
+        // error; V = 10 is below 2%.
+        assert!(rows[0].avg > 0.03, "V=4 avg {:.4}", rows[0].avg);
+        assert!(rows[3].avg < 0.02, "V=10 avg {:.4}", rows[3].avg);
+        for r in &rows {
+            assert!(r.max >= r.avg);
+        }
+    }
+}

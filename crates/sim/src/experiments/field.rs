@@ -1,0 +1,219 @@
+//! "Real-world" experiment drivers (full ODE link): Fig. 16a–d, Tab. 4 and
+//! the microbenchmark sweeps Fig. 17a/17b.
+
+use super::Effort;
+use crate::link::LinkSimulator;
+use crate::link_budget::LinkBudget;
+use crate::scene::{AmbientLight, HumanMobility, Scene};
+use retroturbo_core::PhyConfig;
+
+/// A labelled BER measurement.
+#[derive(Debug, Clone)]
+pub struct BerPoint {
+    /// X-axis value (distance in m, angle in degrees, …).
+    pub x: f64,
+    /// Curve label.
+    pub label: String,
+    /// Measured bit error rate.
+    pub ber: f64,
+    /// Effective SNR of the point, dB.
+    pub snr_db: f64,
+}
+
+fn run_point(cfg: PhyConfig, scene: Scene, seed: u64, effort: Effort) -> (f64, f64) {
+    let mut sim = LinkSimulator::new(cfg, LinkBudget::fov10(), scene, seed);
+    let snr = sim.effective_snr_db();
+    (sim.run_ber(effort.packets(), effort.payload_bytes()), snr)
+}
+
+/// Fig. 16a: BER versus line-of-sight distance at 4 and 8 kbps.
+pub fn fig16a_ber_vs_distance(distances_m: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
+    let mut out = Vec::new();
+    for (label, cfg) in [
+        ("4kbps", PhyConfig::default_4kbps()),
+        ("8kbps", PhyConfig::default_8kbps()),
+    ] {
+        for &d in distances_m {
+            let (ber, snr) = run_point(cfg, Scene::default_at(d), seed, effort);
+            out.push(BerPoint {
+                x: d,
+                label: label.into(),
+                ber,
+                snr_db: snr,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 16b: BER versus roll misalignment at two distances (inside and
+/// outside the 7.5 m working range, as the paper frames it).
+pub fn fig16b_ber_vs_roll(
+    rolls_deg: &[f64],
+    distances_m: &[f64],
+    effort: Effort,
+    seed: u64,
+) -> Vec<BerPoint> {
+    let cfg = PhyConfig::default_8kbps();
+    let mut out = Vec::new();
+    for &d in distances_m {
+        for &r in rolls_deg {
+            let (ber, snr) = run_point(cfg, Scene::default_at(d).with_roll(r), seed, effort);
+            out.push(BerPoint {
+                x: r,
+                label: format!("{d} m"),
+                ber,
+                snr_db: snr,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 16c: BER versus yaw misalignment, with and without channel training
+/// (the training is what calibrates out the yaw-induced symbol deviation).
+pub fn fig16c_ber_vs_yaw(yaws_deg: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
+    let cfg = PhyConfig::default_8kbps();
+    let mut out = Vec::new();
+    for &trained in &[true, false] {
+        for &y in yaws_deg {
+            let scene = Scene::default_at(2.5).with_yaw(y);
+            let mut sim = LinkSimulator::new(cfg, LinkBudget::fov10(), scene, seed);
+            if !trained {
+                sim = sim.without_training();
+            }
+            let snr = sim.effective_snr_db();
+            let ber = sim.run_ber(effort.packets(), effort.payload_bytes());
+            out.push(BerPoint {
+                x: y,
+                label: if trained { "trained".into() } else { "no training".into() },
+                ber,
+                snr_db: snr,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 16d: BER under the three ambient light presets.
+pub fn fig16d_ber_vs_ambient(effort: Effort, seed: u64) -> Vec<BerPoint> {
+    let cfg = PhyConfig::default_8kbps();
+    [AmbientLight::Dark, AmbientLight::Night, AmbientLight::Day]
+        .iter()
+        .map(|&amb| {
+            let mut scene = Scene::default_at(5.0);
+            scene.ambient = amb;
+            let (ber, snr) = run_point(cfg, scene, seed, effort);
+            BerPoint {
+                x: amb.lux(),
+                label: format!("{amb:?}"),
+                ber,
+                snr_db: snr,
+            }
+        })
+        .collect()
+}
+
+/// Tab. 4: BER under the five human-mobility cases.
+pub fn tab4_human_mobility(effort: Effort, seed: u64) -> Vec<BerPoint> {
+    let cfg = PhyConfig::default_8kbps();
+    HumanMobility::all()
+        .iter()
+        .map(|&mob| {
+            let mut scene = Scene::default_at(5.0);
+            scene.mobility = mob;
+            let (ber, snr) = run_point(cfg, scene, seed, effort);
+            BerPoint {
+                x: 0.0,
+                label: mob.label().into(),
+                ber,
+                snr_db: snr,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 17a: DFE branch count versus distance — K = 1 (hard DFE), K = 16
+/// (the paper's default) and the beam-capped Viterbi reference.
+pub fn fig17a_dfe_branches(distances_m: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
+    let cfg = PhyConfig::default_8kbps();
+    let viterbi_k = retroturbo_core::Equalizer::viterbi(cfg).branches();
+    let mut out = Vec::new();
+    for (label, k) in [
+        ("K=1".to_string(), 1usize),
+        ("K=16".to_string(), 16),
+        (format!("Viterbi (K={viterbi_k})"), viterbi_k),
+    ] {
+        for &d in distances_m {
+            let mut sim =
+                LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(d), seed)
+                    .with_branches(k);
+            let snr = sim.effective_snr_db();
+            let ber = sim.run_ber(effort.packets(), effort.payload_bytes());
+            out.push(BerPoint {
+                x: d,
+                label: label.clone(),
+                ber,
+                snr_db: snr,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 17b: channel-training memory depth (paper's V = our `v_memory` − 1)
+/// versus distance.
+pub fn fig17b_training_depth(distances_m: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
+    let mut out = Vec::new();
+    for v_mem in [1usize, 2, 3, 4] {
+        let mut cfg = PhyConfig::default_8kbps();
+        cfg.v_memory = v_mem;
+        for &d in distances_m {
+            let (ber, snr) = run_point(cfg, Scene::default_at(d), seed, effort);
+            out.push(BerPoint {
+                x: d,
+                label: format!("V={}", v_mem - 1),
+                ber,
+                snr_db: snr,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny effort profile so these integration-style tests stay fast.
+    fn tiny() -> Effort {
+        Effort::Quick
+    }
+
+    #[test]
+    fn fig16a_shape_inside_vs_outside_range() {
+        // Just two distances: well inside and far outside the working range.
+        let pts = fig16a_ber_vs_distance(&[4.0, 14.0], tiny(), 1);
+        let near_8k = pts.iter().find(|p| p.label == "8kbps" && p.x == 4.0).unwrap();
+        let far_8k = pts.iter().find(|p| p.label == "8kbps" && p.x == 14.0).unwrap();
+        assert!(near_8k.ber < 0.01, "near BER {}", near_8k.ber);
+        assert!(far_8k.ber > 0.05, "far BER {}", far_8k.ber);
+    }
+
+    #[test]
+    fn fig16b_roll_flat() {
+        let pts = fig16b_ber_vs_roll(&[0.0, 45.0, 90.0], &[4.0], tiny(), 2);
+        for p in &pts {
+            assert!(p.ber < 0.01, "roll {}°: BER {}", p.x, p.ber);
+        }
+    }
+
+    #[test]
+    fn tab4_all_below_one_percent() {
+        let rows = tab4_human_mobility(tiny(), 1);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.ber < 0.01, "{}: BER {}", r.label, r.ber);
+        }
+    }
+}

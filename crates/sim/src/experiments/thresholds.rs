@@ -1,0 +1,142 @@
+//! Fig. 13 and Tab. 3: performance-index analysis and optimal parameters.
+//!
+//! Uses the §5.1 minimum-waveform-distance machinery from
+//! `retroturbo_core::perf_index` to (a) map the demodulation-threshold
+//! surface over (L, P) at each target rate and (b) pick the optimal
+//! configuration per rate and report its index D and threshold relative to
+//! the 1 kbps optimum — the presentation of Tab. 3.
+
+use retroturbo_core::perf_index::{candidate_configs, min_distance, relative_threshold_db};
+use retroturbo_core::{PhyConfig, TagModel};
+use retroturbo_lcm::LcParams;
+
+/// One point of the Fig. 13 surface.
+#[derive(Debug, Clone, Copy)]
+pub struct SurfacePoint {
+    /// Target rate, bit/s.
+    pub rate_bps: f64,
+    /// DSM order.
+    pub l: usize,
+    /// PQAM order.
+    pub p: usize,
+    /// Slot duration, seconds.
+    pub t_slot: f64,
+    /// Performance index D.
+    pub d: f64,
+}
+
+/// One row of Tab. 3.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimalRow {
+    /// Target rate, bit/s.
+    pub rate_bps: f64,
+    /// Best configuration found.
+    pub cfg: PhyConfig,
+    /// Its performance index.
+    pub d: f64,
+    /// Threshold relative to the reference (1 kbps) optimum, dB.
+    pub threshold_db: f64,
+}
+
+fn model_for(cfg: &PhyConfig) -> TagModel {
+    TagModel::nominal(cfg, &LcParams::default())
+}
+
+/// Fig. 13: evaluate D for every candidate (L, P, T) at each target rate.
+pub fn fig13_threshold_surface(
+    rates_bps: &[f64],
+    n_slots: usize,
+    n_probes: usize,
+    seed: u64,
+) -> Vec<SurfacePoint> {
+    let mut out = Vec::new();
+    for &rate in rates_bps {
+        for cfg in candidate_configs(rate, 40_000.0, 4e-3) {
+            let model = model_for(&cfg);
+            let d = min_distance(&cfg, &model, n_slots, n_probes, seed);
+            out.push(SurfacePoint {
+                rate_bps: rate,
+                l: cfg.l_order,
+                p: cfg.pqam_order,
+                t_slot: cfg.t_slot,
+                d,
+            });
+        }
+    }
+    out
+}
+
+/// Tab. 3: optimal parameters and relative thresholds per rate. The first
+/// rate in `rates_bps` is the reference (paper: 1 kbps at 0 dB).
+pub fn tab3_optimal_params(
+    rates_bps: &[f64],
+    n_slots: usize,
+    n_probes: usize,
+    seed: u64,
+) -> Vec<OptimalRow> {
+    let surface = fig13_threshold_surface(rates_bps, n_slots, n_probes, seed);
+    let mut rows = Vec::new();
+    for &rate in rates_bps {
+        let best = surface
+            .iter()
+            .filter(|p| p.rate_bps == rate)
+            .max_by(|a, b| a.d.total_cmp(&b.d));
+        if let Some(b) = best {
+            let cfg = PhyConfig {
+                l_order: b.l,
+                pqam_order: b.p,
+                t_slot: b.t_slot,
+                fs: 40_000.0,
+                v_memory: 3,
+                k_branches: 16,
+                preamble_slots: (3 * b.l).max(12),
+                training_rounds: 8,
+            };
+            rows.push(OptimalRow {
+                rate_bps: rate,
+                cfg,
+                d: b.d,
+                threshold_db: 0.0, // filled below
+            });
+        }
+    }
+    if let Some(d_ref) = rows.first().map(|r| r.d) {
+        for r in &mut rows {
+            r.threshold_db = relative_threshold_db(r.d, d_ref);
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_increase_with_rate() {
+        // Scaled-down Tab. 3: relative threshold must grow monotonically
+        // with rate, 1 kbps at 0 dB by construction.
+        let rows = tab3_optimal_params(&[1_000.0, 4_000.0, 8_000.0], 6, 2, 3);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].threshold_db.abs() < 1e-9);
+        assert!(
+            rows[1].threshold_db > 5.0,
+            "4 kbps threshold {:.1} dB too low",
+            rows[1].threshold_db
+        );
+        assert!(
+            rows[2].threshold_db > rows[1].threshold_db,
+            "8 kbps ({:.1} dB) should cost more than 4 kbps ({:.1} dB)",
+            rows[2].threshold_db,
+            rows[1].threshold_db
+        );
+    }
+
+    #[test]
+    fn surface_covers_paper_default() {
+        let pts = fig13_threshold_surface(&[8_000.0], 4, 1, 1);
+        assert!(pts.iter().any(|p| p.l == 8 && p.p == 16));
+        // Every D positive.
+        assert!(pts.iter().all(|p| p.d > 0.0));
+    }
+}

@@ -1,0 +1,235 @@
+//! Waveform-level artifacts: Fig. 3 (LCM response), Fig. 5 (DSM symbols)
+//! and Fig. 9 (I/Q pulse orthogonality).
+
+use retroturbo_dsp::C64;
+use retroturbo_lcm::dynamics::{simulate, LcParams, LcState};
+use retroturbo_lcm::{DriveCommand, Heterogeneity, Panel};
+
+/// One sampled waveform series with a label.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Sample period, seconds.
+    pub dt: f64,
+    /// Values (real traces use `re`; complex keep both).
+    pub data: Vec<C64>,
+}
+
+/// Fig. 3: the LCM pulse response — charge for `charge_ms`, then discharge;
+/// returns the normalized transmittance-like contrast trace.
+pub fn fig3_lcm_response(charge_ms: f64, discharge_ms: f64, fs: f64) -> Series {
+    let p = LcParams::default();
+    let dt = 1.0 / fs;
+    let n_c = (charge_ms * 1e-3 * fs) as usize;
+    let n_d = (discharge_ms * 1e-3 * fs) as usize;
+    let mut drive = vec![true; n_c];
+    drive.extend(vec![false; n_d]);
+    let g = simulate(&p, LcState::relaxed(), &drive, dt);
+    Series {
+        label: "LCM contrast (charge then discharge)".into(),
+        dt,
+        data: g.iter().map(|&c| C64::real(c)).collect(),
+    }
+}
+
+/// Fig. 5a: basic DSM — `l` pixels fire staggered by τ₁, each contributing
+/// one fast edge, then all discharge together. Returns per-pixel traces and
+/// the superimposed sum for the symbol `bits`.
+pub fn fig5a_basic_dsm(bits: &[bool], tau1_ms: f64, fs: f64) -> Vec<Series> {
+    let l = bits.len();
+    let p = LcParams::default();
+    let dt = 1.0 / fs;
+    let spt = (tau1_ms * 1e-3 * fs) as usize;
+    // Symbol length: L·τ₁ + τ₀ (τ₀ ≈ 4 ms to fully relax).
+    let n = l * spt + (4e-3 * fs) as usize;
+    let mut sum = vec![0.0; n];
+    let mut out = Vec::new();
+    for (k, &b) in bits.iter().enumerate() {
+        // Pixel k charges during [k·τ₁, (k+1)·τ₁) if its bit is set, then
+        // discharges for the rest of the symbol.
+        let mut drive = vec![false; n];
+        if b {
+            for t in k * spt..(k + 1) * spt {
+                drive[t] = true;
+            }
+        }
+        let g = simulate(&p, LcState::relaxed(), &drive, dt);
+        for (s, &v) in sum.iter_mut().zip(&g) {
+            *s += (v + 1.0) / 2.0; // plot charged fraction per pixel
+        }
+        out.push(Series {
+            label: format!("pixel {k} (bit {})", b as u8),
+            dt,
+            data: g.iter().map(|&c| C64::real((c + 1.0) / 2.0)).collect(),
+        });
+    }
+    out.push(Series {
+        label: "superimposed".into(),
+        dt,
+        data: sum.iter().map(|&s| C64::real(s)).collect(),
+    });
+    out
+}
+
+/// Fig. 5b: overlapped DSM — every module launches the same pulse shape
+/// interleaved by T; returns per-module traces plus the received sum for an
+/// all-ones symbol sequence of length `l`.
+pub fn fig5b_overlapped_dsm(l: usize, t_ms: f64, fs: f64) -> Vec<Series> {
+    let p = LcParams::default();
+    let dt = 1.0 / fs;
+    let spt = (t_ms * 1e-3 * fs) as usize;
+    let n = 2 * l * spt + (4e-3 * fs) as usize;
+    let mut sum = vec![0.0; n];
+    let mut out = Vec::new();
+    for k in 0..l {
+        let mut drive = vec![false; n];
+        // Fires at slot k, holds one slot, discharges L−1 slots, repeats.
+        let mut s = k;
+        while (s + 1) * spt <= n {
+            if (s - k) % l == 0 {
+                for t in s * spt..(s + 1) * spt {
+                    drive[t] = true;
+                }
+            }
+            s += 1;
+        }
+        let g = simulate(&p, LcState::relaxed(), &drive, dt);
+        for (acc, &v) in sum.iter_mut().zip(&g) {
+            *acc += (v + 1.0) / 2.0;
+        }
+        out.push(Series {
+            label: format!("module {k}"),
+            dt,
+            data: g.iter().map(|&c| C64::real((c + 1.0) / 2.0)).collect(),
+        });
+    }
+    out.push(Series {
+        label: "received sum".into(),
+        dt,
+        data: sum.iter().map(|&s| C64::real(s)).collect(),
+    });
+    out
+}
+
+/// Fig. 9 / §4.2.3 data: simultaneous full-scale pulses on one I module and
+/// one Q module. Returns:
+///
+/// * the complex received pulse waveform (I pulse on `re`, Q pulse on `im`),
+/// * the pulse-shape identity error `‖r_I − r_Q‖/‖r_I‖` (the paper's
+///   `p_I(t) = j·p_Q(t)`: same shape, orthogonal axes),
+/// * the zero-lag cross-polarization inner product `Re ∫ p_I·p_Q* dt`
+///   (exactly zero — simultaneous pulses never interfere), and
+/// * the same-channel ISI overlap `∫ r(t)·r(t+kT) dt / ∫ r²` per lag k —
+///   the quantity that is *non*-zero for 0 < k < L and forces the
+///   equalizer to consider succeeding symbols jointly.
+pub fn fig9_iq_orthogonality(
+    l: usize,
+    t_ms: f64,
+    fs: f64,
+) -> (Series, f64, f64, Vec<(usize, f64)>) {
+    let spt = (t_ms * 1e-3 * fs) as usize;
+    let mut panel = Panel::retroturbo(l, 1, LcParams::default(), Heterogeneity::none(), 0);
+    let n = 2 * l * spt;
+    let cmds = vec![
+        DriveCommand { sample: 0, module: 0, level: 1 },
+        DriveCommand { sample: 0, module: l, level: 1 },
+        DriveCommand { sample: spt, module: 0, level: 0 },
+        DriveCommand { sample: spt, module: l, level: 0 },
+    ];
+    let sig = panel.simulate(&cmds, n, fs);
+    // Pulse = deviation from the rest level; fired modules swing 2/L on
+    // their own axis while the others hold the constant background.
+    let rest = C64::new(-1.0, -1.0);
+    let pulse: Vec<C64> = sig.samples().iter().map(|&z| z - rest).collect();
+
+    let r_i: Vec<f64> = pulse.iter().map(|z| z.re).collect();
+    let r_q: Vec<f64> = pulse.iter().map(|z| z.im).collect();
+    let norm: f64 = r_i.iter().map(|x| x * x).sum();
+    let shape_err = (r_i
+        .iter()
+        .zip(&r_q)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / norm.max(f64::MIN_POSITIVE))
+    .sqrt();
+
+    // Cross-polarization inner product at zero lag (2-D vectors in the
+    // constellation plane).
+    let cross0: f64 = pulse
+        .iter()
+        .map(|z| (C64::real(z.re) * C64::imag(z.im).conj()).re)
+        .sum::<f64>()
+        / fs;
+
+    // Same-channel ISI overlap per lag (normalized autocorrelation of the
+    // pulse shape at multiples of T).
+    let mut isi = Vec::new();
+    for k in 0..l {
+        let shift = k * spt;
+        let acc: f64 = (0..r_i.len().saturating_sub(shift))
+            .map(|i| r_i[i] * r_i[i + shift])
+            .sum();
+        isi.push((k, acc / norm.max(f64::MIN_POSITIVE)));
+    }
+    (
+        Series {
+            label: "simultaneous I+Q pulse".into(),
+            dt: 1.0 / fs,
+            data: pulse,
+        },
+        shape_err,
+        cross0,
+        isi,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape() {
+        let s = fig3_lcm_response(5.0, 10.0, 40_000.0);
+        // Rises close to +1 by the end of charging, back near −1 at the end.
+        let at = |ms: f64| s.data[(ms * 1e-3 / s.dt) as usize].re;
+        assert!(at(4.9) > 0.97);
+        assert!(at(14.5) < -0.9);
+        // Plateau: still above 0.8 most of a millisecond into discharge.
+        assert!(at(5.8) > 0.8, "no plateau: {}", at(5.8));
+    }
+
+    #[test]
+    fn fig5a_counts_fast_edges() {
+        let s = fig5a_basic_dsm(&[true, false, true], 1.0, 40_000.0);
+        assert_eq!(s.len(), 4);
+        let sum = &s[3];
+        // Two fired pixels: the superimposed trace peaks near 2 above base.
+        let peak = sum.data.iter().map(|z| z.re).fold(f64::MIN, f64::max);
+        assert!(peak > 1.5 && peak < 2.3, "peak {peak}");
+    }
+
+    #[test]
+    fn fig5b_all_modules_cycle() {
+        let s = fig5b_overlapped_dsm(4, 0.5, 40_000.0);
+        assert_eq!(s.len(), 5);
+        for m in &s[..4] {
+            let peak = m.data.iter().map(|z| z.re).fold(f64::MIN, f64::max);
+            assert!(peak > 0.5, "{}: peak {peak}", m.label);
+        }
+    }
+
+    #[test]
+    fn fig9_shape_identity_and_orthogonality() {
+        let (_, shape_err, cross0, isi) = fig9_iq_orthogonality(4, 0.5, 40_000.0);
+        // p_I = j·p_Q: identical shapes…
+        assert!(shape_err < 1e-9, "pulse shapes differ: {shape_err}");
+        // …on orthogonal axes (zero cross-polarization at zero lag).
+        assert!(cross0.abs() < 1e-9, "cross-pol {cross0}");
+        // Same-channel ISI overlap: full at lag 0, substantial within the
+        // pulse span, decaying with lag.
+        assert!((isi[0].1 - 1.0).abs() < 1e-12);
+        assert!(isi[1].1 > 0.1, "lag-1 ISI {}", isi[1].1);
+        assert!(isi[1].1 > isi[3].1, "ISI should decay with lag");
+    }
+}

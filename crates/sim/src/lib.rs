@@ -1,0 +1,26 @@
+//! # retroturbo-sim
+//!
+//! End-to-end simulation of the RetroTurbo system: deployment scenes
+//! (distance, roll/yaw, ambient light, human mobility), the fitted
+//! retroreflective link budget, the full tag→channel→reader link simulator
+//! (physical LCM dynamics per packet), the trace-driven emulation path of
+//! §7.3, tag power/latency models, and one experiment driver per table and
+//! figure of the paper's evaluation (`experiments`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emulation;
+pub mod frontend;
+pub mod experiments;
+pub mod link;
+pub mod link_budget;
+pub mod power;
+pub mod scene;
+
+pub use emulation::EmulatedLink;
+pub use frontend::{AmbientInjection, Frontend};
+pub use link::{LinkSimulator, PacketOutcome};
+pub use link_budget::LinkBudget;
+pub use power::PowerModel;
+pub use scene::{AmbientLight, HumanMobility, Scene};

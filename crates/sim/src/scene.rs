@@ -1,0 +1,159 @@
+//! Deployment scenes: everything about the physical setup that the channel
+//! model consumes.
+
+use retroturbo_optics::Orientation;
+
+/// Ambient light presets matching the paper's Fig. 15 settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmbientLight {
+    /// ≈20 lux ("dark").
+    Dark,
+    /// ≈200 lux (illuminated office at night — the default).
+    Night,
+    /// ≈1000 lux (daylight office).
+    Day,
+}
+
+impl AmbientLight {
+    /// Illuminance in lux.
+    pub fn lux(&self) -> f64 {
+        match self {
+            AmbientLight::Dark => 20.0,
+            AmbientLight::Night => 200.0,
+            AmbientLight::Day => 1000.0,
+        }
+    }
+
+    /// Residual noise contribution after the passband filter: ambient light
+    /// is DC/flicker and lands far outside the 455 kHz band, so only its
+    /// shot noise survives — a tiny, √lux-scaled addition to the receiver
+    /// noise floor (this is why Fig. 16d is flat).
+    pub fn residual_noise_sigma(&self) -> f64 {
+        2e-5 * self.lux().sqrt()
+    }
+}
+
+/// Human-mobility test cases of Tab. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HumanMobility {
+    /// Baseline: nobody moving.
+    None,
+    /// One person walking 10 cm off the line of sight.
+    WalkNearLos,
+    /// One person walking behind the tag.
+    WalkBehindTag,
+    /// One person working (small movements) 5 cm off the LoS.
+    WorkNearLos,
+    /// Three people walking around the LoS.
+    ThreeWalkers,
+}
+
+impl HumanMobility {
+    /// All five Tab. 4 cases, baseline first.
+    pub fn all() -> [HumanMobility; 5] {
+        [
+            HumanMobility::None,
+            HumanMobility::WalkNearLos,
+            HumanMobility::WalkBehindTag,
+            HumanMobility::WorkNearLos,
+            HumanMobility::ThreeWalkers,
+        ]
+    }
+
+    /// Label used in printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HumanMobility::None => "no human",
+            HumanMobility::WalkNearLos => "1 walks 10cm off LoS",
+            HumanMobility::WalkBehindTag => "1 walks behind tag",
+            HumanMobility::WorkNearLos => "1 works 5cm off LoS",
+            HumanMobility::ThreeWalkers => "3 walk around LoS",
+        }
+    }
+
+    /// Gain-flutter amplitude (relative) and rate (Hz): ambient bodies only
+    /// scatter a little stray light into a retroreflective link — the beam
+    /// never crosses them — so the flutter is percent-level (the paper's
+    /// Tab. 4 finds no significant BER change).
+    pub fn flutter(&self) -> (f64, f64) {
+        match self {
+            HumanMobility::None => (0.0, 0.0),
+            HumanMobility::WalkNearLos => (0.008, 1.2),
+            HumanMobility::WalkBehindTag => (0.004, 0.8),
+            HumanMobility::WorkNearLos => (0.006, 2.0),
+            HumanMobility::ThreeWalkers => (0.012, 1.6),
+        }
+    }
+}
+
+/// A full deployment scene.
+#[derive(Debug, Clone, Copy)]
+pub struct Scene {
+    /// Tag–reader distance, metres.
+    pub distance_m: f64,
+    /// Tag orientation (roll affects polarization only; yaw costs SNR and
+    /// deforms symbols).
+    pub orientation: Orientation,
+    /// Ambient light preset.
+    pub ambient: AmbientLight,
+    /// Human mobility case.
+    pub mobility: HumanMobility,
+}
+
+impl Scene {
+    /// The paper's default experiment setup: face-on at `distance_m`,
+    /// office-at-night lighting, nobody moving (§7.1).
+    pub fn default_at(distance_m: f64) -> Self {
+        Self {
+            distance_m,
+            orientation: Orientation::face_on(),
+            ambient: AmbientLight::Night,
+            mobility: HumanMobility::None,
+        }
+    }
+
+    /// Same but with a roll angle (degrees).
+    pub fn with_roll(mut self, roll_deg: f64) -> Self {
+        self.orientation.roll = roll_deg.to_radians();
+        self
+    }
+
+    /// Same but with a yaw angle (degrees).
+    pub fn with_yaw(mut self, yaw_deg: f64) -> Self {
+        self.orientation.yaw = yaw_deg.to_radians();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_levels_ordered() {
+        assert!(AmbientLight::Dark.lux() < AmbientLight::Night.lux());
+        assert!(AmbientLight::Night.lux() < AmbientLight::Day.lux());
+        // Residual noise stays tiny even in daylight (≲ 1e-3 of full scale).
+        assert!(AmbientLight::Day.residual_noise_sigma() < 1e-3);
+    }
+
+    #[test]
+    fn mobility_cases_cover_table4() {
+        assert_eq!(HumanMobility::all().len(), 5);
+        assert_eq!(HumanMobility::all()[0], HumanMobility::None);
+        assert_eq!(HumanMobility::None.flutter().0, 0.0);
+        for m in HumanMobility::all().iter().skip(1) {
+            let (amp, rate) = m.flutter();
+            assert!(amp > 0.0 && amp < 0.02, "{m:?}: flutter {amp}");
+            assert!(rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn scene_builders() {
+        let s = Scene::default_at(2.0).with_roll(30.0).with_yaw(15.0);
+        assert!((s.orientation.roll - 30f64.to_radians()).abs() < 1e-12);
+        assert!((s.orientation.yaw - 15f64.to_radians()).abs() < 1e-12);
+        assert_eq!(s.ambient, AmbientLight::Night);
+    }
+}

@@ -1,0 +1,63 @@
+//! Sensor telemetry uplink: reliable delivery over a marginal link.
+//!
+//! The motivating IoT workload: a battery-free temperature/humidity sensor
+//! tag pushes periodic readings to the room's light infrastructure. The
+//! link sits near the 8 kbps demodulation threshold, so raw packets lose the
+//! occasional CRC — the MAC wraps them in Reed–Solomon coding and
+//! stop-and-wait retransmission (§4.4, Fig. 18b) and delivers every reading.
+//!
+//! Run with: `cargo run --release --example sensor_uplink`
+
+use retroturbo::mac::{protected_bits, stop_and_wait, CodingChoice};
+use retroturbo::phy::PhyConfig;
+use retroturbo::sim::EmulatedLink;
+
+/// A fake sensor reading, packed big-endian.
+fn reading(seq: u16, temp_milli_c: i32, rh_milli: u32) -> Vec<u8> {
+    let mut p = Vec::with_capacity(12);
+    p.extend(seq.to_be_bytes());
+    p.extend(temp_milli_c.to_be_bytes());
+    p.extend(rh_milli.to_be_bytes());
+    p.extend([0u8; 2]); // reserved
+    p
+}
+
+fn main() {
+    // A marginal 8 kbps link: 28.5 dB is right at the 1%-BER threshold.
+    let cfg = PhyConfig::default_8kbps();
+    let snr_db = 28.5;
+    let mut link = EmulatedLink::new(cfg, snr_db, 99);
+    let coding = Some(CodingChoice { n: 64, k: 32 }); // shortened RS, t = 16
+    println!(
+        "sensor uplink at {} kbit/s, SNR {snr_db} dB, RS(64,32) + stop-and-wait",
+        cfg.data_rate() / 1e3
+    );
+
+    let mut delivered = 0usize;
+    let mut total_attempts = 0usize;
+    let mut airtime = 0.0f64;
+    let n_readings = 24;
+    for seq in 0..n_readings {
+        let payload = reading(seq as u16, 21_300 + 17 * seq as i32, 44_000 + 250 * seq as u32);
+        let stats = stop_and_wait(&mut link, &payload, coding, 0x5B, 6);
+        let frame_air = link.frame_airtime(protected_bits(payload.len(), coding));
+        airtime += stats.attempts as f64 * frame_air;
+        total_attempts += stats.attempts;
+        if stats.delivered {
+            delivered += 1;
+        }
+        println!(
+            "reading {seq:2}: {} after {} attempt(s)",
+            if stats.delivered { "delivered" } else { "LOST" },
+            stats.attempts
+        );
+    }
+
+    println!("---");
+    println!(
+        "{delivered}/{n_readings} readings delivered, {:.2} attempts/reading, {:.1} readings/s effective",
+        total_attempts as f64 / n_readings as f64,
+        delivered as f64 / airtime
+    );
+    assert_eq!(delivered, n_readings, "ARQ should deliver everything");
+}

@@ -1,0 +1,158 @@
+//! Property-based tests (proptest) on the system's core invariants.
+
+use proptest::prelude::*;
+use retroturbo::coding::{
+    bits_to_bytes, bytes_to_bits, check_crc16, frame_with_crc16, from_gray, to_gray, RsCode,
+    Scrambler,
+};
+use retroturbo::dsp::linalg::widely_linear_fit;
+use retroturbo::dsp::C64;
+use retroturbo::lcm::dynamics::{step, LcParams, LcState};
+use retroturbo::optics::{PixelMixture, PolAngle};
+use retroturbo::phy::{Constellation, PqamSymbol};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- coding ----------------
+
+    #[test]
+    fn rs_corrects_any_t_errors(
+        msg in proptest::collection::vec(any::<u8>(), 48),
+        positions in proptest::collection::hash_set(0usize..64, 0..=8),
+        flips in proptest::collection::vec(1u8..=255, 8),
+    ) {
+        let rs = RsCode::new(64, 48); // t = 8
+        let mut cw = rs.encode(&msg);
+        for (k, &pos) in positions.iter().enumerate() {
+            cw[pos] ^= flips[k % flips.len()];
+        }
+        let (dec, fixed) = rs.decode(&cw).expect("within t must decode");
+        prop_assert_eq!(dec, msg);
+        prop_assert_eq!(fixed, positions.len());
+    }
+
+    #[test]
+    fn crc_round_trip_and_tamper(payload in proptest::collection::vec(any::<u8>(), 1..200),
+                                 byte in any::<usize>(), bit in 0u8..8) {
+        let framed = frame_with_crc16(&payload);
+        prop_assert_eq!(check_crc16(&framed).unwrap(), &payload[..]);
+        let mut bad = framed.clone();
+        let idx = byte % bad.len();
+        bad[idx] ^= 1 << bit;
+        prop_assert!(check_crc16(&bad).is_none());
+    }
+
+    #[test]
+    fn scrambler_involution(data in proptest::collection::vec(any::<u8>(), 0..300),
+                            seed in 1u8..=0x7F) {
+        let mut x = data.clone();
+        Scrambler::new(seed).scramble_bytes(&mut x);
+        Scrambler::new(seed).scramble_bytes(&mut x);
+        prop_assert_eq!(x, data);
+    }
+
+    #[test]
+    fn gray_bijective_and_adjacent(v in 0u32..100_000) {
+        prop_assert_eq!(from_gray(to_gray(v)), v);
+        prop_assert_eq!((to_gray(v) ^ to_gray(v + 1)).count_ones(), 1);
+    }
+
+    #[test]
+    fn bit_packing_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+    }
+
+    // ---------------- constellation ----------------
+
+    #[test]
+    fn constellation_round_trip(p_idx in 0usize..4, i in 0usize..16, q in 0usize..16) {
+        let p = [4usize, 16, 64, 256][p_idx];
+        let c = Constellation::new(p);
+        let a = c.levels_per_axis();
+        let s = PqamSymbol { i: i % a, q: q % a };
+        prop_assert_eq!(c.map(&c.unmap(s)), s);
+        prop_assert_eq!(c.slice(c.point(s)), s);
+    }
+
+    #[test]
+    fn slicing_is_nearest_neighbour(p_idx in 0usize..3, re in -0.3f64..1.3, im in -0.3f64..1.3) {
+        let p = [4usize, 16, 256][p_idx];
+        let c = Constellation::new(p);
+        let z = C64::new(re, im);
+        let s = c.slice(z);
+        let d_best = c.point(s).dist(z);
+        for other in c.symbols() {
+            prop_assert!(c.point(other).dist(z) >= d_best - 1e-12);
+        }
+    }
+
+    // ---------------- optics ----------------
+
+    #[test]
+    fn malus_bounds_and_pedestal(theta_t in 0.0f64..180.0, theta_r in 0.0f64..180.0,
+                                 rho in 0.0f64..1.0) {
+        let m = PixelMixture::new(PolAngle::from_degrees(theta_t), rho);
+        let i = m.received_intensity(PolAngle::from_degrees(theta_r));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&i), "intensity {i}");
+        // Signal + pedestal decomposition holds.
+        let d = PolAngle::from_degrees(theta_t).diff(PolAngle::from_degrees(theta_r));
+        let pedestal = d.sin() * d.sin();
+        prop_assert!((i - (m.signal_component(PolAngle::from_degrees(theta_r)) + pedestal)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_measurement_magnitude(theta in 0.0f64..180.0, rho in 0.0f64..1.0) {
+        use retroturbo::optics::ReceiverPair;
+        let rx = ReceiverPair::new(PolAngle::from_degrees(0.0));
+        let base = rx.measure(&PixelMixture::new(PolAngle::from_degrees(0.0), rho));
+        let rotated = rx.measure(&PixelMixture::new(PolAngle::from_degrees(theta), rho));
+        prop_assert!((base.abs() - rotated.abs()).abs() < 1e-9);
+    }
+
+    // ---------------- LCM dynamics ----------------
+
+    #[test]
+    fn lc_state_invariant_box(x0 in 0.0f64..1.0, u0 in 0.0f64..1.0,
+                              pattern in any::<u64>()) {
+        let p = LcParams::default();
+        let mut s = LcState { x: x0, u: u0 };
+        for k in 0..512 {
+            s = step(&p, s, (pattern >> (k % 64)) & 1 == 1, 25e-6);
+            prop_assert!((0.0..=1.0).contains(&s.x));
+            prop_assert!((0.0..=1.0).contains(&s.u));
+        }
+    }
+
+    #[test]
+    fn lc_charging_monotone(x0 in 0.0f64..0.99) {
+        // With the field on from a ready state, x never decreases.
+        let p = LcParams::default();
+        let mut s = LcState { x: x0, u: 1.0 };
+        for _ in 0..200 {
+            let next = step(&p, s, true, 25e-6);
+            prop_assert!(next.x >= s.x - 1e-12);
+            s = next;
+        }
+    }
+
+    // ---------------- widely-linear fit ----------------
+
+    #[test]
+    fn widely_linear_exact_recovery(ar in -2.0f64..2.0, ai in -2.0f64..2.0,
+                                    br in -0.3f64..0.3, bi in -0.3f64..0.3,
+                                    cr in -1.0f64..1.0, ci in -1.0f64..1.0) {
+        let a = C64::new(ar, ai);
+        let b = C64::new(br, bi);
+        let c = C64::new(cr, ci);
+        prop_assume!(a.abs() > 0.3 + b.abs()); // well-conditioned, invertible
+        let x: Vec<C64> = (0..24)
+            .map(|i| C64::new((i as f64 * 0.71).sin(), (i as f64 * 1.13).cos()))
+            .collect();
+        let y: Vec<C64> = x.iter().map(|&z| a * z + b * z.conj() + c).collect();
+        let fit = widely_linear_fit(&x, &y);
+        prop_assert!(fit.a.dist(a) < 1e-6);
+        prop_assert!(fit.b.dist(b) < 1e-6);
+        prop_assert!(fit.c.dist(c) < 1e-6);
+    }
+}
