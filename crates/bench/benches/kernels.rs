@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use retroturbo_coding::RsCode;
+use retroturbo_core::perf_index::min_distance;
 use retroturbo_core::training::{OfflineTraining, OnlineTrainer};
 use retroturbo_core::{Equalizer, Modulator, PhyConfig, PreambleDetector, TagModel};
 use retroturbo_dsp::noise::NoiseSource;
@@ -34,7 +35,9 @@ fn fingerprint_emulation(c: &mut Criterion) {
     let bits: Vec<bool> = (0..2000).map(|i| (i * 7) % 3 == 0).collect();
     let mut g = c.benchmark_group("lcm");
     g.throughput(Throughput::Elements(bits.len() as u64));
-    g.bench_function("fingerprint_emulate_1s", |b| b.iter(|| set.emulate_pixel(&bits)));
+    g.bench_function("fingerprint_emulate_1s", |b| {
+        b.iter(|| set.emulate_pixel(&bits))
+    });
     g.finish();
 }
 
@@ -46,7 +49,9 @@ fn render(c: &mut Criterion) {
     let frame = m.modulate(&bits);
     let mut g = c.benchmark_group("phy");
     g.throughput(Throughput::Elements(frame.levels.len() as u64));
-    g.bench_function("render_128B_frame", |b| b.iter(|| model.render_levels(&frame.levels)));
+    g.bench_function("render_128B_frame", |b| {
+        b.iter(|| model.render_levels(&frame.levels))
+    });
     g.finish();
 }
 
@@ -55,7 +60,7 @@ fn preamble_search(c: &mut Criterion) {
     let model = TagModel::nominal(&cfg, &LcParams::default());
     let det = PreambleDetector::new(&cfg, &model);
     let m = Modulator::new(cfg);
-    let frame = m.modulate(&vec![true; 64]);
+    let frame = m.modulate(&[true; 64]);
     let mut wave = vec![retroturbo_dsp::C64::new(-1.0, -1.0); 400];
     wave.extend(model.render_levels(&frame.levels));
     let mut ns = NoiseSource::new(1);
@@ -72,14 +77,31 @@ fn online_training(c: &mut Criterion) {
     let cfg = bench_cfg();
     let params = LcParams::default();
     let model = TagModel::nominal(&cfg, &params);
-    let offline =
-        OfflineTraining::collect(&cfg, &params, &OfflineTraining::default_variants(&params), 3);
+    let offline = OfflineTraining::collect(
+        &cfg,
+        &params,
+        &OfflineTraining::default_variants(&params),
+        3,
+    );
     let trainer = OnlineTrainer::new(cfg, &offline);
     let mut levels = Modulator::preamble_levels(&cfg);
     levels.extend(Modulator::training_levels(&cfg));
     let rx = model.render_levels(&levels);
     let mut g = c.benchmark_group("phy");
     g.bench_function("online_training", |b| b.iter(|| trainer.train(&rx)));
+    g.bench_function("online_training_reference", |b| {
+        b.iter(|| trainer.train_reference(&rx))
+    });
+    g.finish();
+}
+
+fn perf_index_search(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let model = TagModel::nominal(&cfg, &LcParams::default());
+    let mut g = c.benchmark_group("perf");
+    g.bench_function("min_distance_16slots_8probes", |b| {
+        b.iter(|| min_distance(&cfg, &model, 16, 8, 3))
+    });
     g.finish();
 }
 
@@ -100,6 +122,9 @@ fn dfe(c: &mut Criterion) {
         g.bench_function(format!("dfe_equalize_k{k}_128sym"), |b| {
             b.iter(|| eq.equalize(&wave, &model, &known, frame.payload_slots))
         });
+        g.bench_function(format!("dfe_equalize_reference_k{k}_128sym"), |b| {
+            b.iter(|| eq.equalize_reference(&wave, &model, &known, frame.payload_slots))
+        });
     }
     g.finish();
 }
@@ -116,7 +141,11 @@ fn reed_solomon(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(255));
     g.bench_function("rs_encode_255_223", |b| b.iter(|| rs.encode(&msg)));
     g.bench_function("rs_decode_clean", |b| {
-        b.iter_batched(|| cw.clone(), |w| rs.decode(&w).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || cw.clone(),
+            |w| rs.decode(&w).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("rs_decode_16_errors", |b| {
         b.iter_batched(
@@ -131,6 +160,6 @@ fn reed_solomon(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = lcm_ode, fingerprint_emulation, render, preamble_search, online_training, dfe, reed_solomon
+    targets = lcm_ode, fingerprint_emulation, render, preamble_search, online_training, perf_index_search, dfe, reed_solomon
 }
 criterion_main!(kernels);

@@ -5,10 +5,18 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::ablation::preamble_conjugate_term;
 
 fn main() {
-    banner("ablation-preamble", "widely-linear vs plain-linear correction under I/Q imbalance");
+    banner(
+        "ablation-preamble",
+        "widely-linear vs plain-linear correction under I/Q imbalance",
+    );
     let rows = preamble_conjugate_term(&[0.0, 0.05, 0.1, 0.2, 0.3], 1);
     header(&["imbalance", "full_residual", "linear_only_residual"]);
     for r in &rows {
-        println!("{}\t{}\t{}", fmt(r.imbalance), fmt(r.full_residual), fmt(r.linear_residual));
+        println!(
+            "{}\t{}\t{}",
+            fmt(r.imbalance),
+            fmt(r.full_residual),
+            fmt(r.linear_residual)
+        );
     }
 }

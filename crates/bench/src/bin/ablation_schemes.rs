@@ -11,5 +11,7 @@ fn main() {
     for r in &rows {
         println!("{}\t{}\t{}", r.scheme, fmt(r.rate_bps), fmt(r.ber));
     }
-    eprintln!("# each rung trades the previous bottleneck for the next: trend -> levels -> edges -> ISI");
+    eprintln!(
+        "# each rung trades the previous bottleneck for the next: trend -> levels -> edges -> ISI"
+    );
 }

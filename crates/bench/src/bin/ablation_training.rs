@@ -5,7 +5,10 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::ablation::training_stages;
 
 fn main() {
-    banner("ablation-training", "training stages vs module heterogeneity (45 dB)");
+    banner(
+        "ablation-training",
+        "training stages vs module heterogeneity (45 dB)",
+    );
     let rows = training_stages(45.0, 6, 4);
     header(&["stage", "ber"]);
     for r in &rows {

@@ -1,0 +1,240 @@
+//! Machine-readable kernel benchmark: times the three hot kernels optimized
+//! by the perf pass (DFE branch extension, fingerprint emulation error, the
+//! online-training solve) against their retained reference implementations,
+//! plus the parallel sweep runtime at 1 vs N threads, and writes
+//! `BENCH_kernels.json` — one record per measurement with
+//! `{kernel, ns_per_iter, threads, speedup}` — to seed the perf trajectory.
+//!
+//! Speedup is reference-ns / optimized-ns for kernel pairs, and
+//! 1-thread-ns / N-thread-ns for the sweep (≈1.0 on a single-core host).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use retroturbo_bench::banner;
+use retroturbo_core::training::{OfflineTraining, OnlineTrainer};
+use retroturbo_core::{Equalizer, Modulator, PhyConfig, TagModel};
+use retroturbo_dsp::noise::NoiseSource;
+use retroturbo_lcm::fingerprint::{relative_error, relative_error_with_energy};
+use retroturbo_lcm::{FingerprintSet, LcParams};
+use retroturbo_runtime::with_threads;
+use retroturbo_sim::experiments::field::fig16a_ber_vs_distance;
+use retroturbo_sim::experiments::Effort;
+
+/// Minimum wall time per call, in nanoseconds, over `reps` timed batches of
+/// `iters` calls each. The minimum is the noise floor: scheduler preemption
+/// and frequency scaling only ever add time, so the fastest batch is the
+/// best estimate of the kernel's true cost on a shared core.
+fn time_ns<F: FnMut()>(iters: usize, reps: usize, mut f: F) -> f64 {
+    // Warm-up.
+    f();
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Time two variants of the same kernel with interleaved batches (A, B, A,
+/// B, …) so slow drift in machine load hits both sides equally. Returns
+/// `(ns_a, ns_b)` minima.
+fn time_pair_ns<A: FnMut(), B: FnMut()>(
+    iters: usize,
+    reps: usize,
+    mut a: A,
+    mut b: B,
+) -> (f64, f64) {
+    a();
+    b();
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        best_a = best_a.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            b();
+        }
+        best_b = best_b.min(t1.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    (best_a, best_b)
+}
+
+struct Record {
+    kernel: &'static str,
+    ns_per_iter: f64,
+    threads: usize,
+    speedup: f64,
+}
+
+fn main() {
+    banner(
+        "bench-kernels",
+        "hot-kernel before/after timings -> BENCH_kernels.json",
+    );
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- DFE: arena traceback vs Rc-clone reference -----------------------
+    let cfg = {
+        let mut c = PhyConfig::default_8kbps();
+        c.preamble_slots = 24;
+        c.training_rounds = 8;
+        c
+    };
+    let params = LcParams::default();
+    let model = TagModel::nominal(&cfg, &params);
+    let m = Modulator::new(cfg);
+    let bits: Vec<bool> = (0..512).map(|i| (i * 11) % 3 == 0).collect();
+    let frame = m.modulate(&bits);
+    let mut wave = model.render_levels(&frame.levels);
+    NoiseSource::new(2).add_awgn(&mut wave, 0.01);
+    let known = frame.levels[..frame.payload_start()].to_vec();
+    let eq = Equalizer::new(cfg).with_branches(16);
+
+    let (dfe_ref, dfe_new) = time_pair_ns(
+        3,
+        9,
+        || {
+            std::hint::black_box(eq.equalize_reference(&wave, &model, &known, frame.payload_slots));
+        },
+        || {
+            std::hint::black_box(eq.equalize(&wave, &model, &known, frame.payload_slots));
+        },
+    );
+    records.push(Record {
+        kernel: "dfe_equalize_k16_reference",
+        ns_per_iter: dfe_ref,
+        threads: 1,
+        speedup: 1.0,
+    });
+    records.push(Record {
+        kernel: "dfe_equalize_k16_arena",
+        ns_per_iter: dfe_new,
+        threads: 1,
+        speedup: dfe_ref / dfe_new,
+    });
+
+    // --- Fingerprint emulation error: precomputed vs per-call energy -----
+    let set = FingerprintSet::collect(&params, 8, 0.5e-3, 40_000.0);
+    let drive: Vec<bool> = (0..2000).map(|i| (i * 7) % 3 == 0).collect();
+    let reference_wave = set.emulate_pixel(&drive);
+    let ref_energy: f64 = reference_wave.iter().map(|y| y * y).sum();
+    let probe = set.emulate_pixel(&drive);
+    let (fp_ref, fp_new) = time_pair_ns(
+        200,
+        9,
+        || {
+            std::hint::black_box(relative_error(&probe, &reference_wave));
+        },
+        || {
+            std::hint::black_box(relative_error_with_energy(
+                &probe,
+                &reference_wave,
+                ref_energy,
+            ));
+        },
+    );
+    records.push(Record {
+        kernel: "fingerprint_relative_error_reference",
+        ns_per_iter: fp_ref,
+        threads: 1,
+        speedup: 1.0,
+    });
+    records.push(Record {
+        kernel: "fingerprint_relative_error_precomputed",
+        ns_per_iter: fp_new,
+        threads: 1,
+        speedup: fp_ref / fp_new,
+    });
+
+    // --- Online training: precomputed normal equations vs full lstsq -----
+    let offline = OfflineTraining::collect(
+        &cfg,
+        &params,
+        &OfflineTraining::default_variants(&params),
+        3,
+    );
+    let trainer = OnlineTrainer::new(cfg, &offline);
+    let mut levels = Modulator::preamble_levels(&cfg);
+    levels.extend(Modulator::training_levels(&cfg));
+    let rx = model.render_levels(&levels);
+    let (tr_ref, tr_new) = time_pair_ns(
+        3,
+        9,
+        || {
+            std::hint::black_box(trainer.train_reference(&rx));
+        },
+        || {
+            std::hint::black_box(trainer.train(&rx));
+        },
+    );
+    records.push(Record {
+        kernel: "online_training_reference",
+        ns_per_iter: tr_ref,
+        threads: 1,
+        speedup: 1.0,
+    });
+    records.push(Record {
+        kernel: "online_training_precomputed",
+        ns_per_iter: tr_new,
+        threads: 1,
+        speedup: tr_ref / tr_new,
+    });
+
+    // --- Parallel sweep runtime: fig16a at 1 vs N threads -----------------
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sweep = |threads: usize| {
+        time_ns(1, 3, || {
+            with_threads(threads, || {
+                std::hint::black_box(fig16a_ber_vs_distance(&[4.0, 9.0], Effort::Quick, 7));
+            });
+        })
+    };
+    let sweep_1 = sweep(1);
+    records.push(Record {
+        kernel: "sweep_fig16a_quick",
+        ns_per_iter: sweep_1,
+        threads: 1,
+        speedup: 1.0,
+    });
+    if n_threads > 1 {
+        let sweep_n = sweep(n_threads);
+        records.push(Record {
+            kernel: "sweep_fig16a_quick",
+            ns_per_iter: sweep_n,
+            threads: n_threads,
+            speedup: sweep_1 / sweep_n,
+        });
+    } else {
+        eprintln!("# single-core host: skipping multi-thread sweep measurement");
+    }
+
+    // --- Emit ------------------------------------------------------------
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"kernel\": \"{}\", \"ns_per_iter\": {:.1}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.ns_per_iter,
+            r.threads,
+            r.speedup,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+
+    let path = std::env::var("BENCH_KERNELS_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    let mut f = std::fs::File::create(&path).expect("create BENCH_kernels.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_kernels.json");
+    eprintln!("# wrote {path}");
+    print!("{json}");
+}

@@ -5,11 +5,19 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::multiaccess::camera_exposure_loss;
 
 fn main() {
-    banner("ext-camera", "slot-information retention vs receiver exposure time");
+    banner(
+        "ext-camera",
+        "slot-information retention vs receiver exposure time",
+    );
     let pts = camera_exposure_loss(&[2000.0, 480.0, 240.0, 120.0, 60.0, 30.0], 1);
     header(&["fps", "exposure_ms", "slot_info_retained"]);
     for p in &pts {
-        println!("{}\t{}\t{}", fmt(p.fps), fmt(1e3 / p.fps), fmt(p.surviving_variance));
+        println!(
+            "{}\t{}\t{}",
+            fmt(p.fps),
+            fmt(1e3 / p.fps),
+            fmt(p.surviving_variance)
+        );
     }
     eprintln!("# 2000 fps = photodiode-class slot-rate sampling (reference)");
 }

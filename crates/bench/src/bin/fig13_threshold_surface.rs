@@ -5,7 +5,10 @@ use retroturbo_core::perf_index::relative_threshold_db;
 use retroturbo_sim::experiments::thresholds::fig13_threshold_surface;
 
 fn main() {
-    banner("fig13", "demodulation-threshold surface over DSM order × PQAM order");
+    banner(
+        "fig13",
+        "demodulation-threshold surface over DSM order × PQAM order",
+    );
     let rates = [1_000.0, 4_000.0, 8_000.0, 16_000.0];
     let pts = fig13_threshold_surface(&rates, 8, 2, 1);
     let d_ref = pts.iter().map(|p| p.d).fold(f64::MIN, f64::max);

@@ -4,13 +4,22 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::{field::fig16a_ber_vs_distance, Effort};
 
 fn main() {
-    banner("fig16a", "BER vs distance (paper: 7.5 m @ 8 kbps, 10.5 m @ 4 kbps)");
+    banner(
+        "fig16a",
+        "BER vs distance (paper: 7.5 m @ 8 kbps, 10.5 m @ 4 kbps)",
+    );
     let effort = Effort::from_env();
     let distances = [3.0, 5.0, 6.0, 7.0, 7.5, 8.0, 9.0, 10.0, 10.5, 11.0, 12.0];
     let pts = fig16a_ber_vs_distance(&distances, effort, 1);
     header(&["distance_m", "rate", "snr_dB", "ber"]);
     for p in &pts {
-        println!("{}\t{}\t{}\t{}", fmt(p.x), p.label, fmt(p.snr_db), fmt(p.ber));
+        println!(
+            "{}\t{}\t{}\t{}",
+            fmt(p.x),
+            p.label,
+            fmt(p.snr_db),
+            fmt(p.ber)
+        );
     }
     for label in ["4kbps", "8kbps"] {
         let range = pts

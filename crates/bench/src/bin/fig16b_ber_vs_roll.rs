@@ -5,7 +5,10 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::{field::fig16b_ber_vs_roll, Effort};
 
 fn main() {
-    banner("fig16b", "BER vs roll angle, inside and outside the working range");
+    banner(
+        "fig16b",
+        "BER vs roll angle, inside and outside the working range",
+    );
     let pts = fig16b_ber_vs_roll(
         &[0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0],
         &[5.0, 8.0],
@@ -14,7 +17,13 @@ fn main() {
     );
     header(&["roll_deg", "distance", "snr_dB", "ber"]);
     for p in &pts {
-        println!("{}\t{}\t{}\t{}", fmt(p.x), p.label, fmt(p.snr_db), fmt(p.ber));
+        println!(
+            "{}\t{}\t{}\t{}",
+            fmt(p.x),
+            p.label,
+            fmt(p.snr_db),
+            fmt(p.ber)
+        );
     }
     eprintln!("# paper: influence of roll is negligible at any angle");
 }

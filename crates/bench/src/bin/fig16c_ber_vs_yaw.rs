@@ -5,7 +5,10 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::{field::fig16c_ber_vs_yaw, Effort};
 
 fn main() {
-    banner("fig16c", "BER vs yaw (paper: OK to ±40°, fails beyond ±55°)");
+    banner(
+        "fig16c",
+        "BER vs yaw (paper: OK to ±40°, fails beyond ±55°)",
+    );
     let pts = fig16c_ber_vs_yaw(
         &[0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 55.0, 60.0],
         Effort::from_env(),
@@ -13,6 +16,12 @@ fn main() {
     );
     header(&["yaw_deg", "mode", "snr_dB", "ber"]);
     for p in &pts {
-        println!("{}\t{}\t{}\t{}", fmt(p.x), p.label, fmt(p.snr_db), fmt(p.ber));
+        println!(
+            "{}\t{}\t{}\t{}",
+            fmt(p.x),
+            p.label,
+            fmt(p.snr_db),
+            fmt(p.ber)
+        );
     }
 }

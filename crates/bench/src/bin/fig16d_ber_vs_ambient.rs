@@ -9,7 +9,13 @@ fn main() {
     let pts = fig16d_ber_vs_ambient(Effort::from_env(), 1);
     header(&["lux", "condition", "snr_dB", "ber"]);
     for p in &pts {
-        println!("{}\t{}\t{}\t{}", fmt(p.x), p.label, fmt(p.snr_db), fmt(p.ber));
+        println!(
+            "{}\t{}\t{}\t{}",
+            fmt(p.x),
+            p.label,
+            fmt(p.snr_db),
+            fmt(p.ber)
+        );
     }
     eprintln!("# paper: consistent behaviour regardless of illumination");
 }

@@ -11,6 +11,12 @@ fn main() {
     let pts = fig17a_dfe_branches(&[5.0, 6.0, 6.5, 7.0, 7.5, 8.0], Effort::from_env(), 1);
     header(&["distance_m", "equalizer", "snr_dB", "ber"]);
     for p in &pts {
-        println!("{}\t{}\t{}\t{}", fmt(p.x), p.label, fmt(p.snr_db), fmt(p.ber));
+        println!(
+            "{}\t{}\t{}\t{}",
+            fmt(p.x),
+            p.label,
+            fmt(p.snr_db),
+            fmt(p.ber)
+        );
     }
 }

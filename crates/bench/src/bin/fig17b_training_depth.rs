@@ -5,10 +5,19 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::{field::fig17b_training_depth, Effort};
 
 fn main() {
-    banner("fig17b", "training memory depth V (paper notation = ours − 1)");
+    banner(
+        "fig17b",
+        "training memory depth V (paper notation = ours − 1)",
+    );
     let pts = fig17b_training_depth(&[3.0, 5.0, 6.0, 7.0], Effort::from_env(), 1);
     header(&["distance_m", "depth", "snr_dB", "ber"]);
     for p in &pts {
-        println!("{}\t{}\t{}\t{}", fmt(p.x), p.label, fmt(p.snr_db), fmt(p.ber));
+        println!(
+            "{}\t{}\t{}\t{}",
+            fmt(p.x),
+            p.label,
+            fmt(p.snr_db),
+            fmt(p.ber)
+        );
     }
 }

@@ -5,7 +5,10 @@ use retroturbo_sim::experiments::network::{fig18a_ber_vs_snr, thresholds_at_one_
 use retroturbo_sim::experiments::Effort;
 
 fn main() {
-    banner("fig18a", "BER vs SNR (paper: 32 kbps at ~55 dB, 1 kbps at ~-5 dB)");
+    banner(
+        "fig18a",
+        "BER vs SNR (paper: 32 kbps at ~55 dB, 1 kbps at ~-5 dB)",
+    );
     let effort = Effort::from_env();
     let (n_pkts, bytes) = match effort {
         Effort::Quick => (4, 32),

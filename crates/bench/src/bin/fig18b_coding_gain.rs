@@ -6,7 +6,10 @@ use retroturbo_sim::experiments::network::fig18b_coding_gain;
 use retroturbo_sim::experiments::Effort;
 
 fn main() {
-    banner("fig18b", "coding gain: coded 32 kbps beats raw over a wide SNR span");
+    banner(
+        "fig18b",
+        "coding gain: coded 32 kbps beats raw over a wide SNR span",
+    );
     let (n_pkts, bytes) = match Effort::from_env() {
         Effort::Quick => (4, 64),
         Effort::Full => (15, 128),
@@ -15,6 +18,11 @@ fn main() {
     let pts = fig18b_coding_gain(&snrs, n_pkts, bytes, 1);
     header(&["option", "snr_dB", "goodput_kbps"]);
     for p in &pts {
-        println!("{}\t{}\t{}", p.label, fmt(p.snr_db), fmt(p.goodput_bps / 1e3));
+        println!(
+            "{}\t{}\t{}",
+            p.label,
+            fmt(p.snr_db),
+            fmt(p.goodput_bps / 1e3)
+        );
     }
 }

@@ -4,7 +4,10 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::waveforms::fig3_lcm_response;
 
 fn main() {
-    banner("fig3", "LCM pulse response: fast charge, plateaued slow discharge");
+    banner(
+        "fig3",
+        "LCM pulse response: fast charge, plateaued slow discharge",
+    );
     let s = fig3_lcm_response(5.0, 10.0, 40_000.0);
     header(&["t_ms", "contrast"]);
     for (i, z) in s.data.iter().enumerate() {
@@ -16,8 +19,15 @@ fn main() {
     let t_charge = s.data.iter().position(|z| z.re > 0.9).unwrap() as f64 * s.dt;
     let dis_start = (5.0e-3 / s.dt) as usize;
     let t_plateau = s.data[dis_start..].iter().position(|z| z.re < 0.8).unwrap() as f64 * s.dt;
-    let t_done = s.data[dis_start..].iter().position(|z| z.re < -0.9).unwrap() as f64 * s.dt;
+    let t_done = s.data[dis_start..]
+        .iter()
+        .position(|z| z.re < -0.9)
+        .unwrap() as f64
+        * s.dt;
     eprintln!("# charge-to-90%: {:.2} ms (paper: ~0.3 ms)", t_charge * 1e3);
-    eprintln!("# discharge plateau: {:.2} ms (paper: ~1 ms)", t_plateau * 1e3);
+    eprintln!(
+        "# discharge plateau: {:.2} ms (paper: ~1 ms)",
+        t_plateau * 1e3
+    );
     eprintln!("# discharge done: {:.2} ms (paper: ~4 ms)", t_done * 1e3);
 }

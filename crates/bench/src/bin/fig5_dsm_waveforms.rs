@@ -4,10 +4,19 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::waveforms::{fig5a_basic_dsm, fig5b_overlapped_dsm};
 
 fn main() {
-    banner("fig5", "DSM symbol construction: basic (3-order) and overlapped (4-order)");
+    banner(
+        "fig5",
+        "DSM symbol construction: basic (3-order) and overlapped (4-order)",
+    );
     println!("## fig5a: basic 3-order DSM, symbol '101', tau1 = 1 ms");
     let a = fig5a_basic_dsm(&[true, false, true], 1.0, 40_000.0);
-    header(&["t_ms", &a.iter().map(|s| s.label.clone()).collect::<Vec<_>>().join("\t")]);
+    header(&[
+        "t_ms",
+        &a.iter()
+            .map(|s| s.label.clone())
+            .collect::<Vec<_>>()
+            .join("\t"),
+    ]);
     for i in (0..a[0].data.len()).step_by(4) {
         let mut row = vec![fmt(i as f64 * a[0].dt * 1e3)];
         row.extend(a.iter().map(|s| fmt(s.data[i].re)));
@@ -15,7 +24,13 @@ fn main() {
     }
     println!("## fig5b: overlapped 4-order DSM, T = 0.5 ms, all-ones");
     let b = fig5b_overlapped_dsm(4, 0.5, 40_000.0);
-    header(&["t_ms", &b.iter().map(|s| s.label.clone()).collect::<Vec<_>>().join("\t")]);
+    header(&[
+        "t_ms",
+        &b.iter()
+            .map(|s| s.label.clone())
+            .collect::<Vec<_>>()
+            .join("\t"),
+    ]);
     for i in (0..b[0].data.len()).step_by(4) {
         let mut row = vec![fmt(i as f64 * b[0].dt * 1e3)];
         row.extend(b.iter().map(|s| fmt(s.data[i].re)));

@@ -4,11 +4,19 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::waveforms::fig9_iq_orthogonality;
 
 fn main() {
-    banner("fig9", "p_I = j·p_Q: identical pulse shapes on orthogonal axes");
+    banner(
+        "fig9",
+        "p_I = j·p_Q: identical pulse shapes on orthogonal axes",
+    );
     let (s, shape_err, cross0, isi) = fig9_iq_orthogonality(8, 0.5, 40_000.0);
     header(&["t_ms", "p_I", "p_Q"]);
     for (i, z) in s.data.iter().enumerate().step_by(2) {
-        println!("{}\t{}\t{}", fmt(i as f64 * s.dt * 1e3), fmt(z.re), fmt(z.im));
+        println!(
+            "{}\t{}\t{}",
+            fmt(i as f64 * s.dt * 1e3),
+            fmt(z.re),
+            fmt(z.im)
+        );
     }
     eprintln!("# pulse-shape identity error: {}", fmt(shape_err));
     eprintln!("# zero-lag cross-polarization: {}", fmt(cross0));

@@ -9,6 +9,14 @@ fn main() {
     let g = headline_rate_gain();
     header(&["scheme", "rate_bps", "gain_vs_ook"]);
     println!("trend-OOK baseline\t{}\t1", fmt(g.ook_bps));
-    println!("RetroTurbo (experimental)\t{}\t{}", fmt(g.experimental_bps), fmt(g.experimental_gain));
-    println!("RetroTurbo (emulation)\t{}\t{}", fmt(g.emulated_bps), fmt(g.emulated_gain));
+    println!(
+        "RetroTurbo (experimental)\t{}\t{}",
+        fmt(g.experimental_bps),
+        fmt(g.experimental_gain)
+    );
+    println!(
+        "RetroTurbo (emulation)\t{}\t{}",
+        fmt(g.emulated_bps),
+        fmt(g.emulated_gain)
+    );
 }

@@ -6,7 +6,10 @@ use retroturbo_core::PhyConfig;
 use retroturbo_sim::experiments::microbench::latency_report;
 
 fn main() {
-    banner("micro-latency", "per-packet latency decomposition (128-byte packets)");
+    banner(
+        "micro-latency",
+        "per-packet latency decomposition (128-byte packets)",
+    );
     header(&[
         "config",
         "preamble_ms",
@@ -15,6 +18,9 @@ fn main() {
         "detect_cpu_ms",
         "train_cpu_ms",
         "demod_cpu_ms",
+        "detect_sym_per_s",
+        "train_sym_per_s",
+        "demod_sym_per_s",
         "real_time",
     ]);
     for (label, cfg) in [
@@ -23,7 +29,7 @@ fn main() {
     ] {
         let r = latency_report(label, cfg, 128, 1);
         println!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.label,
             fmt(r.preamble_air_s * 1e3),
             fmt(r.training_air_s * 1e3),
@@ -31,8 +37,12 @@ fn main() {
             fmt(r.detect_cpu_s * 1e3),
             fmt(r.train_cpu_s * 1e3),
             fmt(r.demod_cpu_s * 1e3),
+            fmt(r.detect_sym_per_s),
+            fmt(r.train_sym_per_s),
+            fmt(r.demod_sym_per_s),
             r.real_time
         );
     }
     eprintln!("# paper: 8 kbps payload 128 ms, demod 90 ms (real-time pipelined)");
+    eprintln!("# real-time when each stage's sym/s exceeds the on-air slot rate (1/t_slot)");
 }

@@ -4,7 +4,10 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::microbench::power_table;
 
 fn main() {
-    banner("micro-power", "tag power (paper: 0.8 mW at both 4 and 8 kbps)");
+    banner(
+        "micro-power",
+        "tag power (paper: 0.8 mW at both 4 and 8 kbps)",
+    );
     header(&["config", "power_mW"]);
     for r in power_table() {
         println!("{}\t{}", r.label, fmt(r.power_w * 1e3));

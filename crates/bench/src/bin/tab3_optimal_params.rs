@@ -5,7 +5,10 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::thresholds::tab3_optimal_params;
 
 fn main() {
-    banner("tab3", "optimal parameters and relative thresholds per rate");
+    banner(
+        "tab3",
+        "optimal parameters and relative thresholds per rate",
+    );
     let rows = tab3_optimal_params(&[1_000.0, 4_000.0, 8_000.0, 12_000.0, 16_000.0], 8, 3, 1);
     header(&["rate_kbps", "L", "P", "T_ms", "D", "threshold_dB_rel_1kbps"]);
     for r in rows {

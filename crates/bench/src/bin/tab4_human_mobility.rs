@@ -4,7 +4,10 @@ use retroturbo_bench::{banner, fmt, header};
 use retroturbo_sim::experiments::{field::tab4_human_mobility, Effort};
 
 fn main() {
-    banner("tab4", "BER with ambient human mobility (paper: all below 0.3%)");
+    banner(
+        "tab4",
+        "BER with ambient human mobility (paper: all below 0.3%)",
+    );
     let rows = tab4_human_mobility(Effort::from_env(), 1);
     header(&["case", "ber_percent"]);
     for r in &rows {

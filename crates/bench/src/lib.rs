@@ -31,7 +31,10 @@ pub fn banner(id: &str, what: &str) {
     eprintln!("# {id}: {what}");
     eprintln!(
         "# profile: {} (set RETRO_FULL=1 for the paper-scale protocol)",
-        if std::env::var("RETRO_FULL").map(|v| !v.is_empty() && v != "0").unwrap_or(false) {
+        if std::env::var("RETRO_FULL")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+        {
             "FULL"
         } else {
             "quick"

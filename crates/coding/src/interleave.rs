@@ -10,8 +10,7 @@
 pub fn interleave(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
     assert!(rows > 0 && cols > 0, "interleave: degenerate shape");
     let mut grid = vec![0u8; rows * cols];
-    grid[..data.len().min(rows * cols)]
-        .copy_from_slice(&data[..data.len().min(rows * cols)]);
+    grid[..data.len().min(rows * cols)].copy_from_slice(&data[..data.len().min(rows * cols)]);
     let mut out = Vec::with_capacity(rows * cols);
     for c in 0..cols {
         for r in 0..rows {
@@ -24,7 +23,11 @@ pub fn interleave(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
 /// Inverse of [`interleave`] with the same shape.
 pub fn deinterleave(data: &[u8], rows: usize, cols: usize) -> Vec<u8> {
     assert!(rows > 0 && cols > 0, "deinterleave: degenerate shape");
-    assert_eq!(data.len(), rows * cols, "deinterleave: length must be rows·cols");
+    assert_eq!(
+        data.len(),
+        rows * cols,
+        "deinterleave: length must be rows·cols"
+    );
     let mut out = vec![0u8; rows * cols];
     let mut it = data.iter();
     for c in 0..cols {
@@ -55,9 +58,7 @@ mod tests {
         let cols = 8;
         let data: Vec<u8> = vec![0; rows * cols];
         let mut il = interleave(&data, rows, cols);
-        for i in 8..12 {
-            il[i] = 0xFF; // burst
-        }
+        il[8..12].fill(0xFF); // burst
         let de = deinterleave(&il, rows, cols);
         let rows_hit: std::collections::HashSet<usize> = de
             .iter()
@@ -80,6 +81,9 @@ mod tests {
     #[test]
     fn known_small_case() {
         // 2×3 written [1,2,3 / 4,5,6], read by columns: [1,4,2,5,3,6].
-        assert_eq!(interleave(&[1, 2, 3, 4, 5, 6], 2, 3), vec![1, 4, 2, 5, 3, 6]);
+        assert_eq!(
+            interleave(&[1, 2, 3, 4, 5, 6], 2, 3),
+            vec![1, 4, 2, 5, 3, 6]
+        );
     }
 }

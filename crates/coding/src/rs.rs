@@ -45,7 +45,7 @@ impl RsCode {
     /// Panics unless `0 < k < n ≤ 255` and `n − k` is even.
     pub fn new(n: usize, k: usize) -> Self {
         assert!(k > 0 && k < n && n <= 255, "RsCode: need 0 < k < n <= 255");
-        assert!((n - k) % 2 == 0, "RsCode: n − k must be even");
+        assert!((n - k).is_multiple_of(2), "RsCode: n − k must be even");
         let gf = Gf256::new();
         // g(x) = Π_{i=0}^{n−k−1} (x − α^i)
         let mut gen = vec![1u8];

@@ -19,7 +19,10 @@ impl Scrambler {
     /// # Panics
     /// Panics if `seed & 0x7F == 0` (the all-zero state is degenerate).
     pub fn new(seed: u8) -> Self {
-        assert!(seed & 0x7F != 0, "Scrambler: seed must be nonzero in 7 bits");
+        assert!(
+            seed & 0x7F != 0,
+            "Scrambler: seed must be nonzero in 7 bits"
+        );
         Self { state: seed & 0x7F }
     }
 

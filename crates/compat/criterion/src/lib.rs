@@ -1,0 +1,330 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! subset of the criterion 0.5 API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `Throughput`, `BatchSize`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Unlike upstream it has no plotting or
+//! statistical machinery: each benchmark is warmed up, then timed over
+//! `sample_size` samples of adaptively-chosen iteration counts, and the
+//! median ns/iter is printed. Set `CRITERION_JSON` to a path to also append
+//! one JSON object per benchmark (`{"id", "ns_per_iter", "throughput"}`) —
+//! the hook `retroturbo-bench` uses to emit `BENCH_kernels.json`.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting a computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for `iter_batched` (ignored by this subset).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Benchmark name filter: first non-flag CLI argument (cargo bench
+        // passes harness flags like `--bench`; ignore them).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            sample_size: 10,
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Final configuration hook (upstream parses CLI args here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(self, &id, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(self.c, &id, self.throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; routines register through it.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the requested number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] with a by-ref routine.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Warm-up: find an iteration count whose sample lands near the
+    // per-sample time budget.
+    let mut iters = 1u64;
+    let warm_deadline = Instant::now() + c.warm_up;
+    let mut one = run_once(&mut f, iters);
+    while Instant::now() < warm_deadline && one < Duration::from_millis(10) {
+        iters = iters.saturating_mul(2);
+        one = run_once(&mut f, iters);
+    }
+    let per_iter = one.as_nanos().max(1) / iters as u128;
+    let per_sample = (c.measurement.as_nanos() / c.sample_size as u128).max(1);
+    let iters = ((per_sample / per_iter.max(1)).clamp(1, u64::MAX as u128)) as u64;
+
+    let mut samples: Vec<f64> = (0..c.sample_size)
+        .map(|_| run_once(&mut f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+
+    let thr = throughput.map(|t| match t {
+        Throughput::Elements(n) => (n as f64 * 1e9 / median, "elem/s"),
+        Throughput::Bytes(n) => (n as f64 * 1e9 / median, "B/s"),
+    });
+    match thr {
+        Some((rate, unit)) => println!(
+            "{id:<44} {:>12} ns/iter (range {:.0}..{:.0})  {:.3e} {unit}",
+            format!("{median:.1}"),
+            lo,
+            hi,
+            rate
+        ),
+        None => println!(
+            "{id:<44} {:>12} ns/iter (range {:.0}..{:.0})",
+            format!("{median:.1}"),
+            lo,
+            hi
+        ),
+    }
+
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let thr_json = thr
+                .map(|(rate, unit)| format!(",\"throughput\":{rate:.3},\"unit\":\"{unit}\""))
+                .unwrap_or_default();
+            let _ = writeln!(
+                file,
+                "{{\"id\":\"{id}\",\"ns_per_iter\":{median:.3},\"ns_min\":{lo:.3},\"ns_max\":{hi:.3}{thr_json}}}"
+            );
+        }
+    }
+}
+
+/// Group benchmark functions (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Produce `main` running the given groups (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        // Must simply not panic and run the closure.
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_throughput_and_batched() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -13,7 +13,7 @@
 //!
 //! Both use only the I polarization channel, as the original systems did.
 
-use retroturbo_dsp::{C64, Signal};
+use retroturbo_dsp::{Signal, C64};
 use retroturbo_lcm::panel::DriveCommand;
 
 /// Trend-based OOK baseline.
@@ -55,8 +55,16 @@ impl OokPhy {
         for (i, &b) in bits.iter().enumerate() {
             let (first, second) = if b { (0, max_level) } else { (max_level, 0) };
             for m in 0..modules {
-                cmds.push(DriveCommand { sample: i * spb, module: m, level: first });
-                cmds.push(DriveCommand { sample: i * spb + half, module: m, level: second });
+                cmds.push(DriveCommand {
+                    sample: i * spb,
+                    module: m,
+                    level: first,
+                });
+                cmds.push(DriveCommand {
+                    sample: i * spb + half,
+                    module: m,
+                    level: second,
+                });
             }
         }
         cmds
@@ -136,7 +144,11 @@ impl PamPhy {
         self.map_levels(bits)
             .iter()
             .enumerate()
-            .map(|(i, &lev)| DriveCommand { sample: i * sps, module: 0, level: lev })
+            .map(|(i, &lev)| DriveCommand {
+                sample: i * sps,
+                module: 0,
+                level: lev,
+            })
             .collect()
     }
 
@@ -229,7 +241,10 @@ mod tests {
     fn pam_short_symbol_has_isi_floor() {
         // At a 3 ms symbol the discharge cannot finish: level-dependent ISI
         // shows up even without noise — the status-quo bottleneck DSM fixes.
-        let pam = PamPhy { symbol_secs: 3e-3, ..Default::default() };
+        let pam = PamPhy {
+            symbol_secs: 3e-3,
+            ..Default::default()
+        };
         let mut panel = Panel::retroturbo(1, 4, LcParams::default(), Heterogeneity::none(), 0);
         let bits: Vec<bool> = (0..96).map(|i| (i * 11) % 5 < 2).collect();
         let n_sym = bits.len() / 4;

@@ -61,7 +61,11 @@ impl BasicDsm {
     /// # Panics
     /// Panics if `bits.len()` is not a multiple of L.
     pub fn drive(&self, bits: &[bool]) -> Vec<DriveCommand> {
-        assert_eq!(bits.len() % self.l, 0, "BasicDsm: bits must fill whole symbols");
+        assert_eq!(
+            bits.len() % self.l,
+            0,
+            "BasicDsm: bits must fill whole symbols"
+        );
         let win = self.window_samples();
         let sym = self.symbol_samples();
         let mut cmds = Vec::new();
@@ -156,13 +160,8 @@ mod tests {
     use retroturbo_lcm::{Heterogeneity, LcParams, Panel};
 
     fn link(scheme: &BasicDsm, bits: &[bool], noise: f64, seed: u64) -> Vec<bool> {
-        let mut panel = Panel::retroturbo(
-            scheme.l,
-            1,
-            LcParams::default(),
-            Heterogeneity::none(),
-            0,
-        );
+        let mut panel =
+            Panel::retroturbo(scheme.l, 1, LcParams::default(), Heterogeneity::none(), 0);
         let n = bits.len() / scheme.l * scheme.symbol_samples();
         let mut wave = panel.simulate(&scheme.drive(bits), n, scheme.fs);
         if noise > 0.0 {
@@ -183,14 +182,20 @@ mod tests {
 
     #[test]
     fn clean_round_trip() {
-        let s = BasicDsm { l: 4, ..Default::default() };
+        let s = BasicDsm {
+            l: 4,
+            ..Default::default()
+        };
         let bits: Vec<bool> = (0..24).map(|i| (i * 5) % 3 == 0).collect();
         assert_eq!(link(&s, &bits, 0.0, 0), bits);
     }
 
     #[test]
     fn all_patterns_of_one_symbol() {
-        let s = BasicDsm { l: 3, ..Default::default() };
+        let s = BasicDsm {
+            l: 3,
+            ..Default::default()
+        };
         for pat in 0..8u8 {
             let bits: Vec<bool> = (0..3).map(|k| (pat >> k) & 1 == 1).collect();
             assert_eq!(link(&s, &bits, 0.0, 0), bits, "pattern {pat:03b}");
@@ -199,7 +204,10 @@ mod tests {
 
     #[test]
     fn tolerates_moderate_noise() {
-        let s = BasicDsm { l: 4, ..Default::default() };
+        let s = BasicDsm {
+            l: 4,
+            ..Default::default()
+        };
         let bits: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
         // σ = 0.05 on the 2/L = 0.5 swing: ≈ 26 dB, decided over win/4 samples.
         assert_eq!(link(&s, &bits, 0.05, 3), bits);

@@ -135,8 +135,7 @@ impl Constellation {
     /// Iterate over all P symbols.
     pub fn symbols(&self) -> impl Iterator<Item = PqamSymbol> + '_ {
         let qs = if self.bits_q == 0 { 1 } else { self.per_axis };
-        (0..self.per_axis)
-            .flat_map(move |i| (0..qs).map(move |q| PqamSymbol { i, q }))
+        (0..self.per_axis).flat_map(move |i| (0..qs).map(move |q| PqamSymbol { i, q }))
     }
 
     /// Minimum distance between constellation points (per-axis spacing).
@@ -151,7 +150,13 @@ mod tests {
 
     #[test]
     fn orders_and_bit_counts() {
-        for (p, bits, per) in [(2usize, 1usize, 2usize), (4, 2, 2), (16, 4, 4), (64, 6, 8), (256, 8, 16)] {
+        for (p, bits, per) in [
+            (2usize, 1usize, 2usize),
+            (4, 2, 2),
+            (16, 4, 4),
+            (64, 6, 8),
+            (256, 8, 16),
+        ] {
             let c = Constellation::new(p);
             assert_eq!(c.bits_per_symbol(), bits, "P={p}");
             assert_eq!(c.levels_per_axis(), per, "P={p}");

@@ -17,13 +17,15 @@ use crate::synth::{SlotLevels, TagModel};
 use retroturbo_dsp::C64;
 use std::rc::Rc;
 
-/// Decision trace node (persistent list; branches share prefixes).
+/// Decision trace node (persistent list; branches share prefixes). Used only
+/// by [`Equalizer::equalize_reference`]; the production path keeps traceback
+/// in a flat arena instead.
 struct TraceNode {
     sym: PqamSymbol,
     prev: Option<Rc<TraceNode>>,
 }
 
-/// One beam hypothesis.
+/// One beam hypothesis (reference implementation).
 struct Branch {
     cost: f64,
     /// Ring buffer of the last `history` slots' decided levels, indexed by
@@ -38,6 +40,99 @@ impl Branch {
             (0, 0)
         } else {
             self.ring[slot as usize % history]
+        }
+    }
+}
+
+/// Decided level of `slot` in a flat decision ring (pre-frame slots are all
+/// off).
+#[inline]
+fn ring_level_at(ring: &[SlotLevels], slot: isize, history: usize) -> SlotLevels {
+    if slot < 0 {
+        (0, 0)
+    } else {
+        ring[slot as usize % history]
+    }
+}
+
+/// Sentinel for "no traceback parent" in the arena.
+const TRACE_NONE: u32 = u32::MAX;
+
+/// Compute one branch's slot prediction into reusable scratch buffers: the
+/// assumed-all-off waveform (`pred_off`) plus, for the two firing modules,
+/// per-level deltas (`d_i`, `d_q`). Identical arithmetic, term order and
+/// accumulation order to the closure in [`Equalizer::equalize_reference`] —
+/// the only difference is that the output buffers are zeroed and reused
+/// instead of freshly allocated.
+#[allow(clippy::too_many_arguments)]
+fn predict_into(
+    model: &TagModel,
+    ring: &[SlotLevels],
+    g: usize,
+    l: usize,
+    v: usize,
+    spt: usize,
+    bits: usize,
+    history: usize,
+    pred_off: &mut [C64],
+    d_i: &mut [Vec<C64>],
+    d_q: &mut [Vec<C64>],
+) {
+    pred_off.fill(C64::default());
+    for row in d_i.iter_mut() {
+        row.fill(C64::default());
+    }
+    for row in d_q.iter_mut() {
+        row.fill(C64::default());
+    }
+    for module in 0..2 * l {
+        let phase = module % l;
+        if g < phase {
+            // Not yet fired: relaxed contribution (key 0).
+            let seg = model.modules[module].slot(0, 0);
+            for t in 0..spt {
+                pred_off[t] += seg[t];
+            }
+            continue;
+        }
+        let tau = (g - phase) % l;
+        let f_latest = g - tau; // most recent firing slot ≤ g
+        let is_q = module >= l;
+        for (b, w) in model.weights.iter().enumerate() {
+            // Build the history key from branch decisions; for a
+            // currently-firing module (tau == 0) age 0 is the candidate
+            // bit, assumed 0 here.
+            let mut key = 0usize;
+            for age in 0..v {
+                let fs = f_latest as isize - (age * l) as isize;
+                if fs < 0 {
+                    break;
+                }
+                if tau == 0 && age == 0 {
+                    continue; // candidate bit, stays 0
+                }
+                let (li, lq) = ring_level_at(ring, fs, history);
+                let lev = if is_q { lq } else { li };
+                let fired = (lev >> (bits - 1 - b)) & 1 == 1;
+                key |= (fired as usize) << age;
+            }
+            let seg = model.modules[module].slot(key, tau);
+            for t in 0..spt {
+                pred_off[t] += seg[t] * *w;
+            }
+            // Candidate deltas for the firing modules.
+            if tau == 0 {
+                let seg_on = model.modules[module].slot(key | 1, 0);
+                let target: &mut [Vec<C64>] = if is_q { d_q } else { d_i };
+                for (lev_idx, row) in target.iter_mut().enumerate() {
+                    let fired = (lev_idx >> (bits - 1 - b)) & 1 == 1;
+                    if fired {
+                        for t in 0..spt {
+                            row[t] += (seg_on[t] - seg[t]) * *w;
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -89,9 +184,7 @@ impl Equalizer {
     /// small P and L; for larger configurations it is a near-exhaustive beam
     /// that upper-bounds achievable DFE performance.
     pub fn viterbi(cfg: PhyConfig) -> Self {
-        let k = (cfg.pqam_order as f64)
-            .powi(cfg.l_order as i32)
-            .min(4096.0) as usize;
+        let k = (cfg.pqam_order as f64).powi(cfg.l_order as i32).min(4096.0) as usize;
         Self::new(cfg).with_branches(k)
     }
 
@@ -110,9 +203,194 @@ impl Equalizer {
     ///
     /// Returns the decided payload symbols.
     ///
+    /// This is the production path: beam state lives in flat double-buffered
+    /// rings, traceback in an index arena, and all per-slot workspaces
+    /// (predictions, residual, extension list) are allocated once and
+    /// reused. It produces bit-identical decisions to
+    /// [`Equalizer::equalize_reference`], the allocation-heavy
+    /// `Rc`-linked-list formulation it replaced (kept for differential tests
+    /// and benchmarks).
+    ///
     /// # Panics
     /// Panics if `rx` is too short for the requested slots.
     pub fn equalize(
+        &self,
+        rx: &[C64],
+        model: &TagModel,
+        known_prefix: &[SlotLevels],
+        n_payload: usize,
+    ) -> Vec<PqamSymbol> {
+        let l = self.cfg.l_order;
+        let spt = self.cfg.samples_per_slot();
+        let v = self.cfg.v_memory;
+        let history = (v * l).max(l + 1);
+        let total_slots = known_prefix.len() + n_payload;
+        assert!(
+            rx.len() >= total_slots * spt,
+            "equalize: rx has {} samples, need {}",
+            rx.len(),
+            total_slots * spt
+        );
+        if n_payload == 0 {
+            return Vec::new();
+        }
+
+        let bits = model.weights.len();
+        let a_levels = self.constel.levels_per_axis();
+        let symbols: Vec<PqamSymbol> = self.constel.symbols().collect();
+        let q_count = if self.cfg.pqam_order == 2 {
+            1
+        } else {
+            a_levels
+        };
+
+        // Beam state, flat: branch `bi` owns `rings[bi*history..][..history]`,
+        // its accumulated cost in `costs[bi]` and its traceback head (arena
+        // index) in `heads[bi]`.
+        let mut rings = vec![(0usize, 0usize); history];
+        for (s, &lv) in known_prefix.iter().enumerate() {
+            rings[s % history] = lv;
+        }
+        let mut next_rings: Vec<SlotLevels> = Vec::with_capacity(self.k * history);
+        let mut costs = vec![0.0f64];
+        let mut next_costs: Vec<f64> = Vec::with_capacity(self.k);
+        let mut heads = vec![TRACE_NONE];
+        let mut next_heads: Vec<u32> = Vec::with_capacity(self.k);
+        // Traceback arena: (parent index, decided symbol). Branches share
+        // prefixes by pointing at the same parent; nothing is ever cloned.
+        let mut arena: Vec<(u32, PqamSymbol)> = Vec::with_capacity(self.k * n_payload);
+
+        // Per-slot scratch, allocated once.
+        let mut pred_off = vec![C64::default(); spt];
+        let mut d_i = vec![vec![C64::default(); spt]; a_levels];
+        let mut d_q = vec![vec![C64::default(); spt]; q_count];
+        let mut res = vec![C64::default(); spt];
+        let mut extensions: Vec<(f64, usize, PqamSymbol)> = Vec::new();
+
+        // Decision-directed channel tracking state: exponentially-weighted
+        // ⟨rx, pred⟩ / ⟨pred, pred⟩ with a window of ≈ `block` slots.
+        let mut gain = C64::real(1.0);
+        let mut acc_num = C64::default();
+        let mut acc_den = 0.0f64;
+
+        for j in 0..n_payload {
+            let g = known_prefix.len() + j; // global slot
+            let rx_slot = &rx[g * spt..(g + 1) * spt];
+
+            extensions.clear();
+            let n_branches = costs.len();
+            for bi in 0..n_branches {
+                let ring = &rings[bi * history..(bi + 1) * history];
+                predict_into(
+                    model,
+                    ring,
+                    g,
+                    l,
+                    v,
+                    spt,
+                    bits,
+                    history,
+                    &mut pred_off,
+                    &mut d_i,
+                    &mut d_q,
+                );
+
+                // Residual after removing all assumed-off predictions
+                // (tracking gain applied to the model side).
+                for t in 0..spt {
+                    res[t] = rx_slot[t] - gain * pred_off[t];
+                }
+
+                // Score every candidate symbol.
+                for &s in &symbols {
+                    let di = &d_i[s.i];
+                    let dq = &d_q[if self.cfg.pqam_order == 2 { 0 } else { s.q }];
+                    let mut c = 0.0;
+                    for t in 0..spt {
+                        c += (res[t] - gain * (di[t] + dq[t])).norm_sqr();
+                    }
+                    extensions.push((costs[bi] + c, bi, s));
+                }
+            }
+
+            // Keep the K best extensions.
+            extensions.sort_by(|a, b| a.0.total_cmp(&b.0));
+            extensions.truncate(self.k);
+
+            // Tracking: fold the winning branch's full prediction into the
+            // exponentially-weighted gain estimate every slot.
+            if let Some(block) = self.track_block {
+                let lambda = 1.0 - 1.0 / block as f64;
+                let (_, bi0, s0) = extensions[0];
+                let ring = &rings[bi0 * history..(bi0 + 1) * history];
+                predict_into(
+                    model,
+                    ring,
+                    g,
+                    l,
+                    v,
+                    spt,
+                    bits,
+                    history,
+                    &mut pred_off,
+                    &mut d_i,
+                    &mut d_q,
+                );
+                acc_num *= lambda;
+                acc_den *= lambda;
+                for t in 0..spt {
+                    let p = pred_off[t]
+                        + d_i[s0.i][t]
+                        + d_q[if self.cfg.pqam_order == 2 { 0 } else { s0.q }][t];
+                    acc_num += rx_slot[t] * p.conj();
+                    acc_den += p.norm_sqr();
+                }
+                if acc_den > 1e-12 {
+                    gain = acc_num / acc_den;
+                }
+            }
+
+            // Materialize the surviving branches into the back buffers.
+            next_rings.clear();
+            next_costs.clear();
+            next_heads.clear();
+            for &(cost, bi, s) in &extensions {
+                next_rings.extend_from_slice(&rings[bi * history..(bi + 1) * history]);
+                let last = next_rings.len() - history;
+                next_rings[last + g % history] = (s.i, s.q);
+                arena.push((heads[bi], s));
+                next_heads.push((arena.len() - 1) as u32);
+                next_costs.push(cost);
+            }
+            std::mem::swap(&mut rings, &mut next_rings);
+            std::mem::swap(&mut costs, &mut next_costs);
+            std::mem::swap(&mut heads, &mut next_heads);
+        }
+
+        // Read back the best branch's decisions (first minimal cost, matching
+        // `Iterator::min_by` in the reference).
+        let mut best = 0usize;
+        for (bi, &c) in costs.iter().enumerate() {
+            if c < costs[best] {
+                best = bi;
+            }
+        }
+        let mut out = Vec::with_capacity(n_payload);
+        let mut node = heads[best];
+        while node != TRACE_NONE {
+            let (prev, sym) = arena[node as usize];
+            out.push(sym);
+            node = prev;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The original allocation-heavy formulation of [`Equalizer::equalize`]:
+    /// per-extension ring clones and `Rc`-linked-list traceback, with fresh
+    /// prediction buffers on every call. Retained as the differential-testing
+    /// oracle and the "before" side of the DFE benchmarks.
+    pub fn equalize_reference(
         &self,
         rx: &[C64],
         model: &TagModel,
@@ -145,7 +423,11 @@ impl Equalizer {
         let bits = model.weights.len();
         let a_levels = self.constel.levels_per_axis();
         let symbols: Vec<PqamSymbol> = self.constel.symbols().collect();
-        let q_count = if self.cfg.pqam_order == 2 { 1 } else { a_levels };
+        let q_count = if self.cfg.pqam_order == 2 {
+            1
+        } else {
+            a_levels
+        };
 
         // Compute one branch's slot prediction: the assumed-all-off
         // waveform plus, for the two firing modules, per-level deltas.
@@ -224,8 +506,7 @@ impl Equalizer {
 
                 // Residual after removing all assumed-off predictions
                 // (tracking gain applied to the model side).
-                let res: Vec<C64> =
-                    (0..spt).map(|t| rx_slot[t] - gain * pred_off[t]).collect();
+                let res: Vec<C64> = (0..spt).map(|t| rx_slot[t] - gain * pred_off[t]).collect();
 
                 // Score every candidate symbol.
                 for &s in &symbols {
@@ -240,8 +521,7 @@ impl Equalizer {
             }
 
             // Keep the K best extensions.
-            extensions
-                .sort_by(|a, b| a.0.total_cmp(&b.0));
+            extensions.sort_by(|a, b| a.0.total_cmp(&b.0));
             extensions.truncate(self.k);
 
             // Tracking: fold the winning branch's full prediction into the
@@ -323,7 +603,9 @@ mod tests {
         let c = cfg(k);
         let model = TagModel::nominal(&c, &LcParams::default());
         let m = Modulator::new(c);
-        let bits: Vec<bool> = (0..96).map(|i| (i * 13 + seed as usize) % 3 != 0).collect();
+        let bits: Vec<bool> = (0..96)
+            .map(|i| !(i * 13 + seed as usize).is_multiple_of(3))
+            .collect();
         let frame = m.modulate(&bits);
         let mut wave = model.render_levels(&frame.levels);
         if noise_sigma > 0.0 {
@@ -394,7 +676,12 @@ mod tests {
         let frame = m.modulate(&bits);
         let wave = model.render_levels(&frame.levels);
         let eq = Equalizer::new(c);
-        let dec = eq.equalize(&wave, &model, &frame.levels[..frame.payload_start()], frame.payload_slots);
+        let dec = eq.equalize(
+            &wave,
+            &model,
+            &frame.levels[..frame.payload_start()],
+            frame.payload_slots,
+        );
         assert_eq!(dec, frame.payload_symbols);
     }
 
@@ -453,8 +740,16 @@ mod tests {
         let mut ns = NoiseSource::new(3);
         ns.add_awgn(&mut wave, 0.02);
         let eq = Equalizer::new(c).with_tracking(8);
-        let dec2 = eq.equalize(&wave, &model, &frame.levels[..frame.payload_start()], frame.payload_slots);
-        assert_eq!(dec2, frame.payload_symbols, "tracking must not hurt a static link");
+        let dec2 = eq.equalize(
+            &wave,
+            &model,
+            &frame.levels[..frame.payload_start()],
+            frame.payload_slots,
+        );
+        assert_eq!(
+            dec2, frame.payload_symbols,
+            "tracking must not hurt a static link"
+        );
         assert_eq!(dec, sent);
     }
 
@@ -462,5 +757,86 @@ mod tests {
     fn viterbi_branch_count() {
         let eq = Equalizer::viterbi(cfg(16));
         assert_eq!(eq.branches(), 4096); // min(16^4, 4096)
+    }
+
+    /// The arena/scratch-buffer path must reproduce the reference
+    /// (`Rc`-traceback) implementation decision-for-decision, across branch
+    /// counts, noise levels and seeds.
+    #[test]
+    fn arena_path_matches_reference() {
+        for k in [1usize, 4, 16] {
+            for (sigma, seed) in [(0.0, 1u64), (0.05, 7), (0.15, 11), (0.5, 23)] {
+                let c = cfg(k);
+                let model = TagModel::nominal(&c, &LcParams::default());
+                let m = Modulator::new(c);
+                let bits: Vec<bool> = (0..96)
+                    .map(|i| !(i * 13 + seed as usize).is_multiple_of(3))
+                    .collect();
+                let frame = m.modulate(&bits);
+                let mut wave = model.render_levels(&frame.levels);
+                if sigma > 0.0 {
+                    let mut ns = NoiseSource::new(seed);
+                    ns.add_awgn(&mut wave, sigma);
+                }
+                let eq = Equalizer::new(c);
+                let known = &frame.levels[..frame.payload_start()];
+                let fast = eq.equalize(&wave, &model, known, frame.payload_slots);
+                let slow = eq.equalize_reference(&wave, &model, known, frame.payload_slots);
+                assert_eq!(fast, slow, "k={k} sigma={sigma} seed={seed}");
+            }
+        }
+    }
+
+    /// Same equivalence with decision-directed tracking enabled (the gain
+    /// update feeds back into scoring, so it exercises the re-prediction of
+    /// the winning branch through the scratch buffers).
+    #[test]
+    fn arena_path_matches_reference_with_tracking() {
+        let c = cfg(16);
+        let model = TagModel::nominal(&c, &LcParams::default());
+        let m = Modulator::new(c);
+        let bits: Vec<bool> = (0..160).map(|i| (i * 7) % 3 != 0).collect();
+        let frame = m.modulate(&bits);
+        let wave = model.render_levels(&frame.levels);
+        let spt = c.samples_per_slot();
+        let pay_start = frame.payload_start() * spt;
+        let n = wave.len();
+        let rx: Vec<C64> = wave
+            .iter()
+            .enumerate()
+            .map(|(i, &z)| {
+                let p = (i.saturating_sub(pay_start)) as f64 / (n - pay_start) as f64;
+                z * C64::cis(30f64.to_radians() * p)
+            })
+            .collect();
+        let known = &frame.levels[..frame.payload_start()];
+        let eq = Equalizer::new(c).with_tracking(3);
+        assert_eq!(
+            eq.equalize(&rx, &model, known, frame.payload_slots),
+            eq.equalize_reference(&rx, &model, known, frame.payload_slots),
+        );
+    }
+
+    /// P = 2 exercises the degenerate single-axis constellation in both
+    /// paths.
+    #[test]
+    fn arena_path_matches_reference_p2() {
+        let c = PhyConfig {
+            pqam_order: 2,
+            ..cfg(4)
+        };
+        let model = TagModel::nominal(&c, &LcParams::default());
+        let m = Modulator::new(c);
+        let bits: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
+        let frame = m.modulate(&bits);
+        let mut wave = model.render_levels(&frame.levels);
+        let mut ns = NoiseSource::new(9);
+        ns.add_awgn(&mut wave, 0.1);
+        let eq = Equalizer::new(c);
+        let known = &frame.levels[..frame.payload_start()];
+        assert_eq!(
+            eq.equalize(&wave, &model, known, frame.payload_slots),
+            eq.equalize_reference(&wave, &model, known, frame.payload_slots),
+        );
     }
 }

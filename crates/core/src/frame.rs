@@ -20,8 +20,8 @@
 use crate::constellation::{Constellation, PqamSymbol};
 use crate::params::PhyConfig;
 use crate::synth::SlotLevels;
-use retroturbo_lcm::panel::DriveCommand;
 use retroturbo_lcm::mls::mls;
+use retroturbo_lcm::panel::DriveCommand;
 
 /// A fully planned frame.
 #[derive(Debug, Clone)]
@@ -70,19 +70,43 @@ impl FramePlan {
                 // index, emitted earlier so ordering is deterministic).
                 if n >= 1 {
                     let pm = (n - 1) % l;
-                    cmds.push(DriveCommand { sample: n * spt, module: pm, level: 0 });
-                    cmds.push(DriveCommand { sample: n * spt, module: l + pm, level: 0 });
+                    cmds.push(DriveCommand {
+                        sample: n * spt,
+                        module: pm,
+                        level: 0,
+                    });
+                    cmds.push(DriveCommand {
+                        sample: n * spt,
+                        module: l + pm,
+                        level: 0,
+                    });
                 }
             }
-            cmds.push(DriveCommand { sample: n * spt, module: m, level: li });
-            cmds.push(DriveCommand { sample: n * spt, module: l + m, level: lq });
+            cmds.push(DriveCommand {
+                sample: n * spt,
+                module: m,
+                level: li,
+            });
+            cmds.push(DriveCommand {
+                sample: n * spt,
+                module: l + m,
+                level: lq,
+            });
         }
         // Final release.
         if l > 1 && !self.levels.is_empty() {
             let n = self.levels.len();
             let pm = (n - 1) % l;
-            cmds.push(DriveCommand { sample: n * spt, module: pm, level: 0 });
-            cmds.push(DriveCommand { sample: n * spt, module: l + pm, level: 0 });
+            cmds.push(DriveCommand {
+                sample: n * spt,
+                module: pm,
+                level: 0,
+            });
+            cmds.push(DriveCommand {
+                sample: n * spt,
+                module: l + pm,
+                level: 0,
+            });
         }
         cmds
     }
@@ -256,7 +280,10 @@ mod tests {
 
     #[test]
     fn preamble_is_deterministic() {
-        assert_eq!(Modulator::preamble_levels(&cfg()), Modulator::preamble_levels(&cfg()));
+        assert_eq!(
+            Modulator::preamble_levels(&cfg()),
+            Modulator::preamble_levels(&cfg())
+        );
     }
 
     #[test]
@@ -277,7 +304,7 @@ mod tests {
     #[test]
     fn drive_commands_sorted_and_bounded() {
         let m = Modulator::new(cfg());
-        let f = m.modulate(&vec![false; 32]);
+        let f = m.modulate(&[false; 32]);
         let cmds = f.drive_commands(&cfg());
         assert!(cmds.windows(2).all(|w| w[0].sample <= w[1].sample));
         let max_level = 3;

@@ -92,7 +92,7 @@ impl PhyConfig {
     pub fn validate(&self) {
         assert!(self.l_order >= 1, "L must be >= 1");
         let p = self.pqam_order;
-        assert!(p >= 2 && p <= 256, "P must be in 2..=256");
+        assert!((2..=256).contains(&p), "P must be in 2..=256");
         if p > 2 {
             let sq = (p as f64).sqrt().round() as usize;
             assert_eq!(sq * sq, p, "P must be a perfect square (or 2)");

@@ -26,12 +26,29 @@ use rand::SeedableRng;
 pub fn waveform_distance_sqr(model: &TagModel, a: &[SlotLevels], b: &[SlotLevels]) -> f64 {
     assert_eq!(a.len(), b.len(), "waveform_distance_sqr: length mismatch");
     let wa = model.render_levels(a);
+    waveform_distance_sqr_to(model, &wa, b)
+}
+
+/// [`waveform_distance_sqr`] against a pre-rendered waveform `base_wave` —
+/// for probe loops that compare many perturbations of one base sequence and
+/// shouldn't re-render the base each time.
+pub fn waveform_distance_sqr_to(
+    model: &TagModel,
+    base_wave: &[retroturbo_dsp::C64],
+    b: &[SlotLevels],
+) -> f64 {
     let wb = model.render_levels(b);
+    assert_eq!(
+        base_wave.len(),
+        wb.len(),
+        "waveform_distance_sqr_to: length mismatch"
+    );
     // True time integral ∫|ΔF|² dt (amplitude²·seconds, scaled to
     // milliseconds so typical D values are O(1)): longer slots really do
     // buy noise tolerance, which is what separates the rates in Tab. 3.
     let dt_ms = 1e3 / model.config().fs;
-    wa.iter()
+    base_wave
+        .iter()
         .zip(&wb)
         .map(|(x, y)| (*x - *y).norm_sqr())
         .sum::<f64>()
@@ -44,7 +61,13 @@ pub fn waveform_distance_sqr(model: &TagModel, a: &[SlotLevels], b: &[SlotLevels
 /// `n_probes` random base sequences of `n_slots` symbols are perturbed in
 /// every position by every alternative symbol (single-symbol events) and by
 /// correlated two-adjacent-symbol events.
-pub fn min_distance(cfg: &PhyConfig, model: &TagModel, n_slots: usize, n_probes: usize, seed: u64) -> f64 {
+pub fn min_distance(
+    cfg: &PhyConfig,
+    model: &TagModel,
+    n_slots: usize,
+    n_probes: usize,
+    seed: u64,
+) -> f64 {
     cfg.validate();
     let constel = Constellation::new(cfg.pqam_order);
     let symbols: Vec<_> = constel.symbols().collect();
@@ -62,7 +85,13 @@ pub fn min_distance(cfg: &PhyConfig, model: &TagModel, n_slots: usize, n_probes:
         let mut base: Vec<SlotLevels> = prefix.to_vec();
         base.extend(base_syms.iter().map(|s| (s.i, s.q)));
         // Pad so perturbations' full pulses are inside the window.
-        base.extend(std::iter::repeat((0usize, 0usize)).take(cfg.l_order));
+        base.extend(std::iter::repeat_n((0usize, 0usize), cfg.l_order));
+
+        // The base waveform is shared by every perturbation of this probe:
+        // render it once. The perturbed sequence reuses one buffer,
+        // mutate-and-restore, instead of cloning per candidate.
+        let base_wave = model.render_levels(&base);
+        let mut pert = base.clone();
 
         // Single-symbol perturbations (every position, every alternative).
         for pos in 0..n_slots {
@@ -72,14 +101,14 @@ pub fn min_distance(cfg: &PhyConfig, model: &TagModel, n_slots: usize, n_probes:
                 if alt == orig {
                     continue;
                 }
-                let mut pert = base.clone();
                 pert[pre_n + pos] = alt;
                 let bits_a = constel.unmap(base_syms[pos]);
                 let bits_b = constel.unmap(*s);
                 let flipped = bits_a.iter().zip(&bits_b).filter(|(x, y)| x != y).count();
-                let d = waveform_distance_sqr(model, &base, &pert) / flipped as f64;
+                let d = waveform_distance_sqr_to(model, &base_wave, &pert) / flipped as f64;
                 dmin = dmin.min(d);
             }
+            pert[pre_n + pos] = orig;
         }
         // Two-adjacent-symbol events (sampled — full cross product is P²).
         for pos in 0..n_slots.saturating_sub(1) {
@@ -91,7 +120,6 @@ pub fn min_distance(cfg: &PhyConfig, model: &TagModel, n_slots: usize, n_probes:
                 if a1 == base[pre_n + pos] && a2 == base[pre_n + pos + 1] {
                     continue;
                 }
-                let mut pert = base.clone();
                 pert[pre_n + pos] = a1;
                 pert[pre_n + pos + 1] = a2;
                 let f1 = constel
@@ -108,10 +136,14 @@ pub fn min_distance(cfg: &PhyConfig, model: &TagModel, n_slots: usize, n_probes:
                     .count();
                 let flipped = f1 + f2;
                 if flipped == 0 {
+                    pert[pre_n + pos] = base[pre_n + pos];
+                    pert[pre_n + pos + 1] = base[pre_n + pos + 1];
                     continue;
                 }
-                let d = waveform_distance_sqr(model, &base, &pert) / flipped as f64;
+                let d = waveform_distance_sqr_to(model, &base_wave, &pert) / flipped as f64;
                 dmin = dmin.min(d);
+                pert[pre_n + pos] = base[pre_n + pos];
+                pert[pre_n + pos + 1] = base[pre_n + pos + 1];
             }
         }
     }
@@ -190,7 +222,7 @@ where
     for cfg in candidate_configs(rate_bps, fs, 4e-3) {
         let model = make_model(&cfg);
         let d = min_distance(&cfg, &model, n_slots, n_probes, seed);
-        if best.as_ref().map_or(true, |b| d > b.d) {
+        if best.as_ref().is_none_or(|b| d > b.d) {
             best = Some(SearchResult { cfg, d });
         }
     }
@@ -235,6 +267,20 @@ mod tests {
         let mut b = a.clone();
         b[3] = (0, 1);
         assert!(waveform_distance_sqr(&m, &a, &b) > 1e-4);
+    }
+
+    #[test]
+    fn prerendered_distance_matches_two_sided() {
+        let c = cfg(4, 16, 0.5e-3);
+        let m = model_for(&c);
+        let a = vec![(3usize, 1usize), (0, 2), (1, 1), (2, 0), (3, 3), (0, 0)];
+        let mut b = a.clone();
+        b[2] = (0, 3);
+        let wa = m.render_levels(&a);
+        assert_eq!(
+            waveform_distance_sqr(&m, &a, &b),
+            waveform_distance_sqr_to(&m, &wa, &b),
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::frame::Modulator;
 use crate::params::PhyConfig;
 use crate::synth::TagModel;
 use retroturbo_dsp::linalg::widely_linear_fit;
-use retroturbo_dsp::{C64, Signal};
+use retroturbo_dsp::{Signal, C64};
 
 /// The fitted channel map `X ≈ α·Y + β·Y* + γ` and its inverse, used to
 /// correct received samples back into the reference frame.
@@ -150,7 +150,7 @@ impl PreambleDetector {
         let mut best: Option<PreambleMatch> = None;
         for off in from..to {
             if let Some(m) = self.fit_at(rx, off) {
-                if best.as_ref().map_or(true, |b| m.score < b.score) {
+                if best.as_ref().is_none_or(|b| m.score < b.score) {
                     best = Some(m);
                 }
             }

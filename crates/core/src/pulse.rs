@@ -149,7 +149,7 @@ mod tests {
     fn fired_cycle_rises_then_decays() {
         let b = bank(2);
         let s = b.segment(0b01); // fired now, not before
-        // Rises well above rest during the firing slot...
+                                 // Rises well above rest during the firing slot...
         let peak = s[..40].iter().cloned().fold(f64::MIN, f64::max);
         assert!(peak > 0.5, "pulse peak {peak}");
         // ...and decays back toward rest by the end of the 4 ms cycle.

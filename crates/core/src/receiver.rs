@@ -124,7 +124,9 @@ impl Receiver {
     pub fn frame_slots(&self, n_bits: usize) -> usize {
         let bps = self.cfg.bits_per_symbol();
         let pay = n_bits.div_ceil(bps);
-        self.cfg.preamble_slots + self.cfg.training_rounds * self.cfg.l_order + pay
+        self.cfg.preamble_slots
+            + self.cfg.training_rounds * self.cfg.l_order
+            + pay
             + self.cfg.l_order
     }
 
@@ -154,11 +156,13 @@ impl Receiver {
     /// Receive assuming the frame starts exactly at `offset`: the preamble
     /// fit runs there unconditionally (no detection threshold — the caller
     /// asserts the frame position, e.g. a TDMA slot).
-    pub fn receive_at(&self, rx: &Signal, offset: usize, n_bits: usize) -> Result<RxResult, RxError> {
-        let m = self
-            .detector
-            .fit_at(rx, offset)
-            .ok_or(RxError::Truncated)?;
+    pub fn receive_at(
+        &self,
+        rx: &Signal,
+        offset: usize,
+        n_bits: usize,
+    ) -> Result<RxResult, RxError> {
+        let m = self.detector.fit_at(rx, offset).ok_or(RxError::Truncated)?;
         self.decode_at(rx, offset, m, n_bits)
     }
 
@@ -313,7 +317,10 @@ mod tests {
         let cut = (c.preamble_slots + 2) * c.samples_per_slot();
         let sig = Signal::new(wave[..cut].to_vec(), c.fs);
         let rx = Receiver::new(c, &LcParams::default(), 2);
-        assert_eq!(rx.receive(&sig, bits.len()).unwrap_err(), RxError::Truncated);
+        assert_eq!(
+            rx.receive(&sig, bits.len()).unwrap_err(),
+            RxError::Truncated
+        );
     }
 
     #[test]

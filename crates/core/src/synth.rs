@@ -55,7 +55,10 @@ impl ModuleModel {
     /// Panics if the segment table shape is inconsistent.
     pub fn from_segments(seg: Vec<Vec<C64>>, l: usize, spt: usize, v: usize) -> Self {
         assert_eq!(seg.len(), 1 << v, "ModuleModel: need 2^v segments");
-        assert!(seg.iter().all(|s| s.len() == l * spt), "ModuleModel: bad segment length");
+        assert!(
+            seg.iter().all(|s| s.len() == l * spt),
+            "ModuleModel: bad segment length"
+        );
         let _ = l;
         Self { seg, spt, v }
     }
@@ -99,7 +102,13 @@ impl TagModel {
     /// assumes before online training.
     pub fn nominal(cfg: &PhyConfig, params: &LcParams) -> Self {
         cfg.validate();
-        let bank = PulseBank::collect(params, cfg.l_order, cfg.samples_per_slot(), cfg.fs, cfg.v_memory);
+        let bank = PulseBank::collect(
+            params,
+            cfg.l_order,
+            cfg.samples_per_slot(),
+            cfg.fs,
+            cfg.v_memory,
+        );
         Self::from_shared_bank(cfg, &bank)
     }
 
@@ -289,8 +298,16 @@ mod tests {
         use retroturbo_lcm::{DriveCommand, Heterogeneity, Panel};
         let cfg = small_cfg();
         let m = model();
-        let levels: Vec<SlotLevels> =
-            vec![(3, 0), (0, 3), (2, 1), (3, 3), (0, 0), (1, 2), (3, 0), (0, 0)];
+        let levels: Vec<SlotLevels> = vec![
+            (3, 0),
+            (0, 3),
+            (2, 1),
+            (3, 3),
+            (0, 0),
+            (1, 2),
+            (3, 0),
+            (0, 0),
+        ];
         let rendered = m.render_levels(&levels);
 
         let mut panel = Panel::retroturbo(
@@ -307,13 +324,21 @@ mod tests {
             if n >= 1 {
                 // Previous firing of these modules ends… handled by 1-slot hold below.
             }
-            cmds.push(DriveCommand { sample: n * spt, module: mphase, level: li });
+            cmds.push(DriveCommand {
+                sample: n * spt,
+                module: mphase,
+                level: li,
+            });
             cmds.push(DriveCommand {
                 sample: n * spt,
                 module: cfg.l_order + mphase,
                 level: lq,
             });
-            cmds.push(DriveCommand { sample: (n + 1) * spt, module: mphase, level: 0 });
+            cmds.push(DriveCommand {
+                sample: (n + 1) * spt,
+                module: mphase,
+                level: 0,
+            });
             cmds.push(DriveCommand {
                 sample: (n + 1) * spt,
                 module: cfg.l_order + mphase,
@@ -337,8 +362,26 @@ mod tests {
         // Two level sequences identical in the last cycle but different
         // before must render different final cycles (tail effect).
         let m = model();
-        let a = vec![(3, 0), (0, 0), (0, 0), (0, 0), (3, 0), (0, 0), (0, 0), (0, 0)];
-        let b = vec![(0, 0), (0, 0), (0, 0), (0, 0), (3, 0), (0, 0), (0, 0), (0, 0)];
+        let a = vec![
+            (3, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (3, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+        ];
+        let b = vec![
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (3, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+        ];
         let wa = m.render_levels(&a);
         let wb = m.render_levels(&b);
         let spt = 20;

@@ -105,6 +105,13 @@ impl OfflineTraining {
 }
 
 /// Online trainer bound to a configuration and offline bases.
+///
+/// Everything the per-packet least-squares solve needs that does *not*
+/// depend on the received samples — the pilot design matrix `A`, its
+/// conjugate transpose, the ridge-regularized normal matrix `AᴴA + λI`, and
+/// the refinement stage's (module, history-key) class tables — is built once
+/// here. [`OnlineTrainer::train`] then only computes `Aᴴ·rx` and one
+/// Gaussian solve per packet.
 #[derive(Debug)]
 pub struct OnlineTrainer {
     cfg: PhyConfig,
@@ -113,27 +120,59 @@ pub struct OnlineTrainer {
     /// Run the per-(module, key) refinement stage (on by default; the
     /// ablation study switches it off).
     pub refine: bool,
+    /// First training-window slot (one cold-start cycle skipped).
+    start: usize,
+    /// One past the last training-window slot.
+    end: usize,
+    /// Aᴴ of the pilot design matrix.
+    design_h: CMat,
+    /// AᴴA + ridge·I, exactly as `lstsq_c` would form it.
+    aha_ridged: CMat,
+    /// Observed (module, history-key) classes of the refinement stage.
+    classes: Vec<(usize, usize)>,
+    /// `slot_class[g - start][module]` = class index active in that slot.
+    slot_class: Vec<Vec<usize>>,
 }
 
 impl OnlineTrainer {
-    /// Prepare the trainer.
+    /// Prepare the trainer, precomputing the rx-independent solve state.
     pub fn new(cfg: PhyConfig, offline: &OfflineTraining) -> Self {
         assert!(
             cfg.preamble_slots >= cfg.l_order,
             "OnlineTrainer: preamble must cover one full cycle"
         );
-        let basis_banks = (0..offline.s()).map(|s| offline.basis_bank(s)).collect();
+        let basis_banks: Vec<PulseBank> = (0..offline.s()).map(|s| offline.basis_bank(s)).collect();
+        let start = cfg.l_order;
+        let end = cfg.preamble_slots + cfg.training_rounds * cfg.l_order;
+        let a = Self::build_design(&cfg, &basis_banks, start, end);
+        let design_h = a.h();
+        let mut aha_ridged = design_h.matmul(&a);
+        // Identical regularization to `lstsq_c`, applied once here.
+        let scale: f64 = (0..aha_ridged.rows())
+            .map(|i| aha_ridged[(i, i)].re)
+            .sum::<f64>()
+            / aha_ridged.rows() as f64;
+        let ridge = 1e-12 * scale.max(1e-300);
+        for i in 0..aha_ridged.rows() {
+            aha_ridged[(i, i)] += C64::real(ridge);
+        }
+        let (classes, slot_class) = Self::enumerate_classes(&cfg, start, end);
         Self {
             cfg,
             basis_banks,
             refine: true,
+            start,
+            end,
+            design_h,
+            aha_ridged,
+            classes,
+            slot_class,
         }
     }
 
     /// Binary firing history of `module` ending at global slot `g`, using
     /// the known preamble + training patterns (full-scale firings only).
-    fn known_fired(&self, module: usize, slot: usize) -> bool {
-        let cfg = &self.cfg;
+    fn known_fired(cfg: &PhyConfig, module: usize, slot: usize) -> bool {
         let l = cfg.l_order;
         let phase = module % l;
         if slot % l != phase {
@@ -152,32 +191,16 @@ impl OnlineTrainer {
         Modulator::training_fired(cfg, module, round)
     }
 
-    /// Fit the per-module complex basis coefficients from the corrected
-    /// received frame (`rx` aligned so sample 0 = slot 0) and materialize the
-    /// trained [`TagModel`].
-    ///
-    /// Falls back to coefficient vectors of zero (a dead module) only if the
-    /// least-squares system is singular, which the pilot design prevents.
-    pub fn train(&self, rx: &[C64]) -> TagModel {
-        let cfg = &self.cfg;
+    /// The pilot design matrix: column (module, s) = that module's expected
+    /// waveform over the window if its bank were basis s with unit gain.
+    /// Depends only on the configuration and bases, never on the packet.
+    fn build_design(cfg: &PhyConfig, basis_banks: &[PulseBank], start: usize, end: usize) -> CMat {
         let l = cfg.l_order;
         let spt = cfg.samples_per_slot();
         let v = cfg.v_memory;
-        let s_count = self.basis_banks.len();
-        // Fit over the preamble too (skipping the cold-start cycle): its
-        // firings are just as known as the pilot rounds and roughly double
-        // the observed history keys per module.
-        let start = l;
-        let end = cfg.preamble_slots + cfg.training_rounds * l;
-        assert!(
-            rx.len() >= end * spt,
-            "train: rx too short for the training window"
-        );
+        let s_count = basis_banks.len();
         let n_rows = (end - start) * spt;
         let n_cols = 2 * l * s_count;
-
-        // Design matrix: column (module, s) = that module's expected
-        // waveform over the window if its bank were basis s with unit gain.
         let mut a = CMat::zeros(n_rows, n_cols);
         for module in 0..2 * l {
             let phase = module % l;
@@ -190,10 +213,10 @@ impl OnlineTrainer {
                     if fs < 0 {
                         break;
                     }
-                    key |= (self.known_fired(module, fs as usize) as usize) << age;
+                    key |= (Self::known_fired(cfg, module, fs as usize) as usize) << age;
                 }
                 let row0 = (g - start) * spt;
-                for (s, bank) in self.basis_banks.iter().enumerate() {
+                for (s, bank) in basis_banks.iter().enumerate() {
                     let col = module * s_count + s;
                     let seg = bank.slot(key, tau);
                     for t in 0..spt {
@@ -202,71 +225,19 @@ impl OnlineTrainer {
                 }
             }
         }
-        let b = &rx[start * spt..end * spt];
-        let coef = lstsq_c(&a, b).unwrap_or_else(|| vec![C64::default(); n_cols]);
-
-        // Materialize per-module complex banks.
-        let cycle = l * spt;
-        let mut segments: Vec<Vec<Vec<C64>>> = Vec::with_capacity(2 * l);
-        for module in 0..2 * l {
-            let mut segs: Vec<Vec<C64>> = vec![vec![C64::default(); cycle]; 1 << v];
-            for (s, bank) in self.basis_banks.iter().enumerate() {
-                let c = coef[module * s_count + s];
-                for key in 0..(1usize << v) {
-                    let src = bank.segment(key);
-                    let dst = &mut segs[key];
-                    for (d, &x) in dst.iter_mut().zip(src) {
-                        *d += c * x;
-                    }
-                }
-            }
-            segments.push(segs);
-        }
-
-        // Second stage: per-(module, history-key) complex gain refinement —
-        // the fingerprint-per-class references of §4.3.3 ("use different
-        // reference pulse for each LCM sub-channel … classify them according
-        // to V previous bits"). Each observed (module, key) class gets a
-        // multiplicative correction δ, ridge-shrunk toward 1 so that
-        // weakly-observed classes stay at the basis-mixture estimate.
-        if self.refine {
-            self.refine_keys(rx, start, end, &mut segments);
-        }
-
-        let mut modules = Vec::with_capacity(2 * l);
-        for segs in segments {
-            modules.push(ModuleModel::from_segments(segs, l, spt, v));
-        }
-
-        let bits = cfg.bits_per_module();
-        let total = ((1usize << bits) - 1) as f64;
-        let weights = (0..bits)
-            .map(|b| (1usize << (bits - 1 - b)) as f64 / total)
-            .collect();
-        TagModel {
-            modules,
-            weights,
-            cfg: *cfg,
-        }
+        a
     }
 
-    /// Per-(module, key) multiplicative refinement: solve the ridge system
-    /// `min ‖rx − Σ δ_{m,κ}·seg_{m,κ}‖² + λ‖δ − 1‖²` over the training
-    /// window and scale the segments by the fitted δ.
-    fn refine_keys(
-        &self,
-        rx: &[C64],
+    /// Enumerate the refinement stage's observed (module, key) classes and
+    /// the per-slot class map. Pilot-pattern-derived, rx-independent.
+    fn enumerate_classes(
+        cfg: &PhyConfig,
         start: usize,
         end: usize,
-        segments: &mut [Vec<Vec<C64>>],
-    ) {
-        let cfg = &self.cfg;
+    ) -> (Vec<(usize, usize)>, Vec<Vec<usize>>) {
         let l = cfg.l_order;
-        let spt = cfg.samples_per_slot();
         let v = cfg.v_memory;
         let n_modules = 2 * l;
-
-        // Enumerate observed (module, key) classes and their window slots.
         let mut class_of = vec![vec![usize::MAX; 1 << v]; n_modules];
         let mut classes: Vec<(usize, usize)> = Vec::new();
         let mut slot_class = vec![vec![0usize; n_modules]; end - start];
@@ -281,7 +252,7 @@ impl OnlineTrainer {
                     if fs < 0 {
                         break;
                     }
-                    key |= (self.known_fired(module, fs as usize) as usize) << age;
+                    key |= (Self::known_fired(cfg, module, fs as usize) as usize) << age;
                 }
                 if class_of[module][key] == usize::MAX {
                     class_of[module][key] = classes.len();
@@ -290,6 +261,156 @@ impl OnlineTrainer {
                 slot_class[g - start][module] = class_of[module][key];
             }
         }
+        (classes, slot_class)
+    }
+
+    /// Fit the per-module complex basis coefficients from the corrected
+    /// received frame (`rx` aligned so sample 0 = slot 0) and materialize the
+    /// trained [`TagModel`].
+    ///
+    /// The design matrix and its normal equations were precomputed in
+    /// [`OnlineTrainer::new`]; per packet this computes `Aᴴ·rx`, one
+    /// Gaussian solve, and the segment materialization. Bit-identical to
+    /// [`OnlineTrainer::train_reference`], which rebuilds everything per
+    /// call.
+    ///
+    /// Falls back to coefficient vectors of zero (a dead module) only if the
+    /// least-squares system is singular, which the pilot design prevents.
+    pub fn train(&self, rx: &[C64]) -> TagModel {
+        let cfg = &self.cfg;
+        let l = cfg.l_order;
+        let spt = cfg.samples_per_slot();
+        let s_count = self.basis_banks.len();
+        let (start, end) = (self.start, self.end);
+        assert!(
+            rx.len() >= end * spt,
+            "train: rx too short for the training window"
+        );
+        let n_cols = 2 * l * s_count;
+
+        let b = &rx[start * spt..end * spt];
+        let ahb = self.design_h.matvec(b);
+        let coef =
+            gauss_solve_c(&self.aha_ridged, &ahb).unwrap_or_else(|| vec![C64::default(); n_cols]);
+
+        let mut segments = self.materialize_segments(&coef);
+        if self.refine {
+            Self::refine_core(
+                cfg,
+                rx,
+                start,
+                end,
+                &mut segments,
+                &self.classes,
+                &self.slot_class,
+            );
+        }
+        self.finish_model(segments)
+    }
+
+    /// The original per-packet formulation: rebuild the pilot design matrix,
+    /// run the full `lstsq_c` (normal equations included), and re-enumerate
+    /// the refinement classes on every call. Retained as the
+    /// differential-testing oracle and the "before" side of the training
+    /// benchmarks.
+    pub fn train_reference(&self, rx: &[C64]) -> TagModel {
+        let cfg = &self.cfg;
+        let l = cfg.l_order;
+        let spt = cfg.samples_per_slot();
+        let s_count = self.basis_banks.len();
+        // Fit over the preamble too (skipping the cold-start cycle): its
+        // firings are just as known as the pilot rounds and roughly double
+        // the observed history keys per module.
+        let start = l;
+        let end = cfg.preamble_slots + cfg.training_rounds * l;
+        assert!(
+            rx.len() >= end * spt,
+            "train: rx too short for the training window"
+        );
+        let n_cols = 2 * l * s_count;
+
+        let a = Self::build_design(cfg, &self.basis_banks, start, end);
+        let b = &rx[start * spt..end * spt];
+        let coef = lstsq_c(&a, b).unwrap_or_else(|| vec![C64::default(); n_cols]);
+
+        let mut segments = self.materialize_segments(&coef);
+        // Second stage: per-(module, history-key) complex gain refinement —
+        // the fingerprint-per-class references of §4.3.3 ("use different
+        // reference pulse for each LCM sub-channel … classify them according
+        // to V previous bits"). Each observed (module, key) class gets a
+        // multiplicative correction δ, ridge-shrunk toward 1 so that
+        // weakly-observed classes stay at the basis-mixture estimate.
+        if self.refine {
+            let (classes, slot_class) = Self::enumerate_classes(cfg, start, end);
+            Self::refine_core(cfg, rx, start, end, &mut segments, &classes, &slot_class);
+        }
+        self.finish_model(segments)
+    }
+
+    /// Materialize per-module complex banks from the fitted coefficients.
+    fn materialize_segments(&self, coef: &[C64]) -> Vec<Vec<Vec<C64>>> {
+        let cfg = &self.cfg;
+        let l = cfg.l_order;
+        let spt = cfg.samples_per_slot();
+        let v = cfg.v_memory;
+        let s_count = self.basis_banks.len();
+        let cycle = l * spt;
+        let mut segments: Vec<Vec<Vec<C64>>> = Vec::with_capacity(2 * l);
+        for module in 0..2 * l {
+            let mut segs: Vec<Vec<C64>> = vec![vec![C64::default(); cycle]; 1 << v];
+            for (s, bank) in self.basis_banks.iter().enumerate() {
+                let c = coef[module * s_count + s];
+                for (key, dst) in segs.iter_mut().enumerate() {
+                    let src = bank.segment(key);
+                    for (d, &x) in dst.iter_mut().zip(src) {
+                        *d += c * x;
+                    }
+                }
+            }
+            segments.push(segs);
+        }
+        segments
+    }
+
+    /// Wrap refined segments into the trained [`TagModel`].
+    fn finish_model(&self, segments: Vec<Vec<Vec<C64>>>) -> TagModel {
+        let cfg = &self.cfg;
+        let l = cfg.l_order;
+        let spt = cfg.samples_per_slot();
+        let v = cfg.v_memory;
+        let mut modules = Vec::with_capacity(2 * l);
+        for segs in segments {
+            modules.push(ModuleModel::from_segments(segs, l, spt, v));
+        }
+        let bits = cfg.bits_per_module();
+        let total = ((1usize << bits) - 1) as f64;
+        let weights = (0..bits)
+            .map(|b| (1usize << (bits - 1 - b)) as f64 / total)
+            .collect();
+        TagModel {
+            modules,
+            weights,
+            cfg: *cfg,
+        }
+    }
+
+    /// Per-(module, key) multiplicative refinement: solve the ridge system
+    /// `min ‖rx − Σ δ_{m,κ}·seg_{m,κ}‖² + λ‖δ − 1‖²` over the training
+    /// window and scale the segments by the fitted δ. The class tables are
+    /// rx-independent and supplied by the caller (precomputed in `new`, or
+    /// re-enumerated by `train_reference`).
+    fn refine_core(
+        cfg: &PhyConfig,
+        rx: &[C64],
+        start: usize,
+        end: usize,
+        segments: &mut [Vec<Vec<C64>>],
+        classes: &[(usize, usize)],
+        slot_class: &[Vec<usize>],
+    ) {
+        let l = cfg.l_order;
+        let spt = cfg.samples_per_slot();
+        let n_modules = 2 * l;
 
         // Design matrix: column per class, rows over the window; entry =
         // that class's current segment slice wherever it is active.
@@ -346,8 +467,8 @@ impl OnlineTrainer {
 mod tests {
     use super::*;
     use crate::frame::Modulator;
-    use retroturbo_lcm::{Heterogeneity, LcParams, Panel};
     use retroturbo_dsp::Signal;
+    use retroturbo_lcm::{Heterogeneity, LcParams, Panel};
 
     fn cfg() -> PhyConfig {
         PhyConfig {
@@ -396,7 +517,11 @@ mod tests {
         );
         for i in 0..3 {
             for j in 0..3 {
-                let dot: f64 = off.bases[i].iter().zip(&off.bases[j]).map(|(a, b)| a * b).sum();
+                let dot: f64 = off.bases[i]
+                    .iter()
+                    .zip(&off.bases[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
                 assert!((dot - expect).abs() < 1e-8, "⟨{i},{j}⟩ = {dot}");
             }
@@ -443,8 +568,16 @@ mod tests {
         let mut levels = Modulator::preamble_levels(&c);
         levels.extend(Modulator::training_levels(&c));
         // Follow with a probe section the trainer does not see.
-        let probe: Vec<crate::synth::SlotLevels> =
-            vec![(3, 0), (0, 3), (2, 1), (3, 3), (1, 2), (0, 0), (3, 1), (2, 2)];
+        let probe: Vec<crate::synth::SlotLevels> = vec![
+            (3, 0),
+            (0, 3),
+            (2, 1),
+            (3, 3),
+            (1, 2),
+            (0, 0),
+            (3, 1),
+            (2, 2),
+        ];
         levels.extend_from_slice(&probe);
 
         let rx = render_heterogeneous_frame(&levels, 77);
@@ -471,6 +604,38 @@ mod tests {
     }
 
     #[test]
+    fn precomputed_train_matches_reference() {
+        // The precomputed-normal-equations path must be bit-identical to the
+        // original per-call formulation on a real heterogeneous-panel frame.
+        let c = cfg();
+        let nominal = LcParams::default();
+        let off = OfflineTraining::collect(
+            &c,
+            &nominal,
+            &OfflineTraining::default_variants(&nominal),
+            3,
+        );
+        let trainer = OnlineTrainer::new(c, &off);
+
+        let mut levels = Modulator::preamble_levels(&c);
+        levels.extend(Modulator::training_levels(&c));
+        levels.extend_from_slice(&[(3, 0), (0, 3), (2, 1), (3, 3), (1, 2), (0, 0)]);
+
+        for seed in [77u64, 5, 901] {
+            let rx = render_heterogeneous_frame(&levels, seed);
+            let fast = trainer.train(&rx).render_levels(&levels);
+            let slow = trainer.train_reference(&rx).render_levels(&levels);
+            assert_eq!(fast.len(), slow.len());
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "seed {seed}: sample {i} diverged: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn training_handles_rotated_channel() {
         // A 30° roll rotates the constellation; the complex coefficients
         // must absorb it (per-module gains become complex).
@@ -483,7 +648,11 @@ mod tests {
         levels.extend(Modulator::training_levels(&c));
         let model = TagModel::nominal(&c, &nominal);
         let rot = C64::cis(2.0 * 30f64.to_radians());
-        let rx: Vec<C64> = model.render_levels(&levels).iter().map(|&z| rot * z).collect();
+        let rx: Vec<C64> = model
+            .render_levels(&levels)
+            .iter()
+            .map(|&z| rot * z)
+            .collect();
 
         let trained = trainer.train(&rx);
         let pred = trained.render_levels(&levels);

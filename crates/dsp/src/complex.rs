@@ -170,6 +170,7 @@ impl Mul for C64 {
 impl Div for C64 {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w^-1 by definition
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -389,7 +390,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let xs = vec![ONE, J, C64::new(2.0, -1.0)];
+        let xs = [ONE, J, C64::new(2.0, -1.0)];
         let s: C64 = xs.iter().sum();
         assert_eq!(s, C64::new(3.0, 0.0));
     }

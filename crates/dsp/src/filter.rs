@@ -32,7 +32,7 @@ impl Fir {
     /// Panics unless `0 < fc < fs/2`.
     pub fn lowpass(fc: f64, fs: f64, n: usize) -> Self {
         assert!(fc > 0.0 && fc < fs / 2.0, "lowpass: fc out of (0, fs/2)");
-        let n = if n % 2 == 0 { n + 1 } else { n.max(3) };
+        let n = if n.is_multiple_of(2) { n + 1 } else { n.max(3) };
         let w = hamming(n);
         let mid = (n / 2) as isize;
         let fcn = fc / fs; // normalized cutoff (cycles/sample)
@@ -63,7 +63,7 @@ impl Fir {
         let lo = f0 - bw / 2.0;
         let hi = f0 + bw / 2.0;
         assert!(lo > 0.0 && hi < fs / 2.0, "bandpass: band out of range");
-        let n = if n % 2 == 0 { n + 1 } else { n.max(3) };
+        let n = if n.is_multiple_of(2) { n + 1 } else { n.max(3) };
         // Modulate a low-pass prototype of cutoff bw/2 up to f0.
         let proto = Self::lowpass(bw / 2.0, fs, n);
         let mid = (n / 2) as f64;

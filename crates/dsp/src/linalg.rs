@@ -596,7 +596,7 @@ mod tests {
     fn lstsq_c_overdetermined() {
         // 5 equations, 2 unknowns, consistent system.
         let mut a = CMat::zeros(5, 2);
-        let x_true = vec![C64::new(0.3, 0.7), C64::new(-1.0, 0.2)];
+        let x_true = [C64::new(0.3, 0.7), C64::new(-1.0, 0.2)];
         let mut b = vec![C64::default(); 5];
         for i in 0..5 {
             a[(i, 0)] = C64::new(i as f64, 1.0);
@@ -677,9 +677,14 @@ mod tests {
         // Columns of U orthonormal.
         for p in 0..svd.u.cols() {
             for q in 0..svd.u.cols() {
-                let d: f64 = (0..svd.u.rows()).map(|i| svd.u[(i, p)] * svd.u[(i, q)]).sum();
+                let d: f64 = (0..svd.u.rows())
+                    .map(|i| svd.u[(i, p)] * svd.u[(i, q)])
+                    .sum();
                 let expect = if p == q { 1.0 } else { 0.0 };
-                assert!(close(d, expect, 1e-9), "U not orthonormal at ({p},{q}): {d}");
+                assert!(
+                    close(d, expect, 1e-9),
+                    "U not orthonormal at ({p},{q}): {d}"
+                );
             }
         }
     }

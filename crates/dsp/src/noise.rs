@@ -137,7 +137,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = NoiseSource::new(1);
         let mut b = NoiseSource::new(2);
-        let same = (0..32).filter(|_| a.standard_normal() == b.standard_normal()).count();
+        let same = (0..32)
+            .filter(|_| a.standard_normal() == b.standard_normal())
+            .count();
         assert!(same < 4);
     }
 

@@ -48,8 +48,8 @@ impl Default for LcParams {
     /// by ≈ 4 ms.
     fn default() -> Self {
         Self {
-            tau_charge: 8.0e-5,     // 0.08 ms
-            tau_relax: 7.0e-4,      // 0.70 ms
+            tau_charge: 8.0e-5, // 0.08 ms
+            tau_relax: 7.0e-4,  // 0.70 ms
             delta: 0.05,
             tau_ready_up: 1.0e-4,   // 0.10 ms
             tau_ready_down: 1.2e-3, // 1.2 ms

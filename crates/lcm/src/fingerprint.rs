@@ -27,6 +27,10 @@ pub struct FingerprintSet {
     /// `table[h]` = contrast waveform over one slot for history `h`
     /// (bit k of `h` is the drive bit k slots ago; bit 0 = current slot).
     table: Vec<Vec<f64>>,
+    /// `energies[h]` = Σₖ `table[h][k]²` — the reference pulse energy per
+    /// history, precomputed at collection time so hot emulation loops never
+    /// re-integrate the table.
+    energies: Vec<f64>,
 }
 
 impl FingerprintSet {
@@ -53,7 +57,7 @@ impl FingerprintSet {
         for rep in 0..2 {
             let _ = rep;
             for &b in &seq {
-                drive.extend(std::iter::repeat(b).take(slot_len));
+                drive.extend(std::iter::repeat_n(b, slot_len));
             }
         }
         let out = simulate(params, LcState::relaxed(), &drive, dt);
@@ -72,12 +76,17 @@ impl FingerprintSet {
             let start = (period + j) * slot_len;
             table[h] = out[start..start + slot_len].to_vec();
         }
+        let energies = table
+            .iter()
+            .map(|w| w.iter().map(|c| c * c).sum())
+            .collect();
         Self {
             v,
             slot_secs,
             fs,
             slot_len,
             table,
+            energies,
         }
     }
 
@@ -104,6 +113,26 @@ impl FingerprintSet {
     /// Reference waveform for an explicit history word (bit 0 = current).
     pub fn reference(&self, history: usize) -> &[f64] {
         &self.table[history & ((1 << self.v) - 1)]
+    }
+
+    /// Precomputed energy Σ c² of the reference waveform for a history word.
+    pub fn reference_energy(&self, history: usize) -> f64 {
+        self.energies[history & ((1 << self.v) - 1)]
+    }
+
+    /// Precomputed energy of an emulated drive sequence: Σ over slots of the
+    /// per-history reference energies (identical to summing the squares of
+    /// [`FingerprintSet::emulate_pixel`]'s output sample by sample, but O(1)
+    /// per slot).
+    pub fn emulated_energy(&self, bits: &[bool]) -> f64 {
+        let mut h = 0usize;
+        let mask = (1usize << self.v) - 1;
+        let mut e = 0.0;
+        for &b in bits {
+            h = ((h << 1) | b as usize) & mask;
+            e += self.energies[h];
+        }
+        e
     }
 
     /// Emulate a single pixel's contrast waveform for a per-slot drive bit
@@ -162,10 +191,20 @@ pub struct EmuPixel {
 /// # Panics
 /// Panics if lengths differ.
 pub fn relative_error(a: &[f64], b: &[f64]) -> f64 {
+    let den: f64 = b.iter().map(|y| y * y).sum();
+    relative_error_with_energy(a, b, den)
+}
+
+/// [`relative_error`] with the reference energy `‖b‖²` supplied by the
+/// caller — for sweeps that compare many waveforms against the same
+/// reference and shouldn't re-integrate it each time.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn relative_error_with_energy(a: &[f64], b: &[f64], b_energy: f64) -> f64 {
     assert_eq!(a.len(), b.len(), "relative_error: length mismatch");
     let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
-    let den: f64 = b.iter().map(|y| y * y).sum();
-    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+    (num / b_energy.max(f64::MIN_POSITIVE)).sqrt()
 }
 
 #[cfg(test)]
@@ -216,7 +255,7 @@ mod tests {
         // Direct ODE on the same drive.
         let mut drive = Vec::new();
         for &b in &bits {
-            drive.extend(std::iter::repeat(b).take(f.slot_len()));
+            drive.extend(std::iter::repeat_n(b, f.slot_len()));
         }
         let direct = simulate(&LcParams::default(), LcState::relaxed(), &drive, 1.0 / FS);
         let err = relative_error(&emu, &direct);
@@ -230,14 +269,17 @@ mod tests {
         let mut drive = Vec::new();
         let slot_len = (SLOT * FS) as usize;
         for &b in &bits {
-            drive.extend(std::iter::repeat(b).take(slot_len));
+            drive.extend(std::iter::repeat_n(b, slot_len));
         }
         let direct = simulate(&LcParams::default(), LcState::relaxed(), &drive, 1.0 / FS);
         let errs: Vec<f64> = [3usize, 6, 10]
             .iter()
             .map(|&v| relative_error(&set(v).emulate_pixel(&bits), &direct))
             .collect();
-        assert!(errs[0] > errs[1] && errs[1] > errs[2], "errors not decreasing: {errs:?}");
+        assert!(
+            errs[0] > errs[1] && errs[1] > errs[2],
+            "errors not decreasing: {errs:?}"
+        );
     }
 
     #[test]
@@ -275,6 +317,20 @@ mod tests {
         // After the single charged slot the pixel relaxes back toward −1.
         let last = out[out.len() - 1];
         assert!(last.re < -0.8, "should relax, got {}", last.re);
+    }
+
+    #[test]
+    fn energies_match_table() {
+        let f = set(5);
+        for h in 0..(1 << 5) {
+            let direct: f64 = f.reference(h).iter().map(|c| c * c).sum();
+            assert_eq!(f.reference_energy(h), direct, "history {h}");
+        }
+        // Sequence energy = sum of per-slot reference energies.
+        let bits: Vec<bool> = (0..20).map(|i| i % 3 == 0).collect();
+        let w = f.emulate_pixel(&bits);
+        let direct: f64 = w.iter().map(|c| c * c).sum();
+        assert!((f.emulated_energy(&bits) - direct).abs() < 1e-9 * direct.max(1.0));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::pixel::PixelBank;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use retroturbo_dsp::{C64, Signal};
+use retroturbo_dsp::{Signal, C64};
 use retroturbo_optics::PolAngle;
 
 /// Per-module manufacturing/illumination heterogeneity (§4.3.3 lists gain
@@ -101,8 +101,8 @@ impl Panel {
                 let tf = 1.0 + het.tau_sigma * gauss(&mut rng);
                 p.tau_charge *= tf.max(0.3);
                 p.tau_relax *= (1.0 + het.tau_sigma * gauss(&mut rng)).max(0.3);
-                let angle = PolAngle::from_degrees(base_angle)
-                    .rotated(het.angle_sigma * gauss(&mut rng));
+                let angle =
+                    PolAngle::from_degrees(base_angle).rotated(het.angle_sigma * gauss(&mut rng));
                 modules.push(PixelBank::new(bits, angle, p, gain.max(0.05)));
             }
         }
@@ -221,8 +221,16 @@ mod tests {
     fn charging_i_channel_moves_real_axis_only() {
         let mut p = panel(2);
         let cmds = vec![
-            DriveCommand { sample: 0, module: 0, level: 15 },
-            DriveCommand { sample: 0, module: 1, level: 15 },
+            DriveCommand {
+                sample: 0,
+                module: 0,
+                level: 15,
+            },
+            DriveCommand {
+                sample: 0,
+                module: 1,
+                level: 15,
+            },
         ];
         let sig = p.simulate(&cmds, 200, FS); // 5 ms
         let z = *sig.samples().last().unwrap();
@@ -233,7 +241,11 @@ mod tests {
     #[test]
     fn q_channel_is_imaginary_axis() {
         let mut p = panel(1);
-        let cmds = vec![DriveCommand { sample: 0, module: 1, level: 15 }];
+        let cmds = vec![DriveCommand {
+            sample: 0,
+            module: 1,
+            level: 15,
+        }];
         let sig = p.simulate(&cmds, 200, FS);
         let z = *sig.samples().last().unwrap();
         assert!((z.im - 1.0).abs() < 0.02);
@@ -244,7 +256,11 @@ mod tests {
     fn superposition_of_two_modules() {
         // Charging one of two I-modules lands the I channel at 0 (= ½·(+1) + ½·(−1)).
         let mut p = panel(2);
-        let cmds = vec![DriveCommand { sample: 0, module: 0, level: 15 }];
+        let cmds = vec![DriveCommand {
+            sample: 0,
+            module: 0,
+            level: 15,
+        }];
         let sig = p.simulate(&cmds, 400, FS);
         let z = *sig.samples().last().unwrap();
         assert!(z.re.abs() < 0.02, "I should sit at 0: {}", z.re);
@@ -254,7 +270,11 @@ mod tests {
     fn intermediate_level_scales_channel() {
         // Level 5 of 15 on the single I module ⇒ contrast 2·5/15−1 = −1/3.
         let mut p = panel(1);
-        let cmds = vec![DriveCommand { sample: 0, module: 0, level: 5 }];
+        let cmds = vec![DriveCommand {
+            sample: 0,
+            module: 0,
+            level: 5,
+        }];
         let sig = p.simulate(&cmds, 800, FS);
         let z = *sig.samples().last().unwrap();
         assert!((z.re + 1.0 / 3.0).abs() < 0.02, "I: {}", z.re);
@@ -280,7 +300,11 @@ mod tests {
     #[test]
     fn reset_returns_to_rest() {
         let mut p = panel(2);
-        let cmds = vec![DriveCommand { sample: 0, module: 0, level: 15 }];
+        let cmds = vec![DriveCommand {
+            sample: 0,
+            module: 0,
+            level: 15,
+        }];
         let _ = p.simulate(&cmds, 100, FS);
         p.reset();
         let z = p.output();

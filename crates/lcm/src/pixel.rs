@@ -64,7 +64,7 @@ impl PixelBank {
     /// # Panics
     /// Panics if `bits == 0` or `bits > 8`.
     pub fn new(bits: usize, angle: PolAngle, params: LcParams, gain: f64) -> Self {
-        assert!(bits >= 1 && bits <= 8, "PixelBank: bits must be 1..=8");
+        assert!((1..=8).contains(&bits), "PixelBank: bits must be 1..=8");
         let total = ((1usize << bits) - 1) as f64;
         let pixels = (0..bits)
             .map(|k| {

@@ -226,12 +226,22 @@ mod tests {
 
     #[test]
     fn stop_and_wait_retries_through_errors() {
-        // BER 2e-3 on ~1k bits: ≈ 2 errors per try uncoded ⇒ needs retries;
-        // should usually get through within 50.
-        let mut pipe = NoisyPipe::new(5e-3, 3);
-        let s = stop_and_wait(&mut pipe, &payload(64), None, 0x5B, 50);
-        assert!(s.delivered, "never delivered in {} attempts", s.attempts);
-        assert!(s.attempts > 1, "suspiciously clean channel");
+        // BER 5e-3 on ~550 bits: ≈ 2.7 errors per try uncoded ⇒ needs
+        // retries. Any single seed has a few-percent chance of a clean first
+        // try, so aggregate over seeds: every run must deliver, and the
+        // channel must force retries somewhere in the batch.
+        let mut total_attempts = 0usize;
+        for seed in 0..4 {
+            let mut pipe = NoisyPipe::new(5e-3, seed);
+            let s = stop_and_wait(&mut pipe, &payload(64), None, 0x5B, 50);
+            assert!(
+                s.delivered,
+                "seed {seed}: never delivered in {} attempts",
+                s.attempts
+            );
+            total_attempts += s.attempts;
+        }
+        assert!(total_attempts > 4, "suspiciously clean channel");
     }
 
     #[test]

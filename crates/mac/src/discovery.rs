@@ -23,7 +23,12 @@ pub struct DiscoveryOutcome {
 
 /// Run framed slotted ALOHA until every tag in `tag_ids` is discovered or
 /// `max_rounds` elapses.
-pub fn discover(tag_ids: &[u32], initial_window: usize, max_rounds: usize, seed: u64) -> DiscoveryOutcome {
+pub fn discover(
+    tag_ids: &[u32],
+    initial_window: usize,
+    max_rounds: usize,
+    seed: u64,
+) -> DiscoveryOutcome {
     assert!(initial_window >= 1, "discover: window must be >= 1");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pending: Vec<u32> = tag_ids.to_vec();

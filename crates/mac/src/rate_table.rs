@@ -67,7 +67,12 @@ impl RateTable {
         // top rate (its Fig. 18b study), plain rates below. Thresholds from
         // this repository's Fig. 18a sweep.
         Self::new(vec![
-            RateOption { name: "32kbps", bit_rate: 32_000.0, min_snr_db: 48.5, coding: None },
+            RateOption {
+                name: "32kbps",
+                bit_rate: 32_000.0,
+                min_snr_db: 48.5,
+                coding: None,
+            },
             RateOption {
                 name: "32kbps+rs251",
                 bit_rate: 32_000.0,
@@ -80,10 +85,30 @@ impl RateTable {
                 min_snr_db: 44.0,
                 coding: Some(CodingChoice { n: 255, k: 223 }),
             },
-            RateOption { name: "16kbps", bit_rate: 16_000.0, min_snr_db: 38.0, coding: None },
-            RateOption { name: "8kbps", bit_rate: 8_000.0, min_snr_db: 23.5, coding: None },
-            RateOption { name: "4kbps", bit_rate: 4_000.0, min_snr_db: 16.0, coding: None },
-            RateOption { name: "1kbps", bit_rate: 1_000.0, min_snr_db: -1.5, coding: None },
+            RateOption {
+                name: "16kbps",
+                bit_rate: 16_000.0,
+                min_snr_db: 38.0,
+                coding: None,
+            },
+            RateOption {
+                name: "8kbps",
+                bit_rate: 8_000.0,
+                min_snr_db: 23.5,
+                coding: None,
+            },
+            RateOption {
+                name: "4kbps",
+                bit_rate: 4_000.0,
+                min_snr_db: 16.0,
+                coding: None,
+            },
+            RateOption {
+                name: "1kbps",
+                bit_rate: 1_000.0,
+                min_snr_db: -1.5,
+                coding: None,
+            },
             RateOption {
                 name: "1kbps+rs127",
                 bit_rate: 1_000.0,

@@ -105,8 +105,8 @@ mod tests {
     #[test]
     fn mixed_network_bounded_by_slowest() {
         // One slow tag inflates everyone's super-frame.
-        let fast_only = mean_throughput(&vec![tag(1, 60.0), tag(2, 60.0)], 8_000, 0.0);
-        let with_slow = mean_throughput(&vec![tag(1, 60.0), tag(2, -10.0)], 8_000, 0.0);
+        let fast_only = mean_throughput(&[tag(1, 60.0), tag(2, 60.0)], 8_000, 0.0);
+        let with_slow = mean_throughput(&[tag(1, 60.0), tag(2, -10.0)], 8_000, 0.0);
         assert!(with_slow < fast_only / 4.0);
     }
 

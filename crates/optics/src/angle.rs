@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn orthogonal_of_zero_is_ninety() {
-        assert!(close(PolAngle::from_degrees(0.0).orthogonal().degrees(), 90.0));
+        assert!(close(
+            PolAngle::from_degrees(0.0).orthogonal().degrees(),
+            90.0
+        ));
         // Orthogonal twice is identity (mod 180°).
         let a = PolAngle::from_degrees(30.0);
         assert!(close(a.orthogonal().orthogonal().degrees(), 30.0));

@@ -69,10 +69,7 @@ impl ReceiverPair {
     /// Complex measurement of a weighted set of pixels (weights = pixel
     /// intensities at the receiver), the superposition the photodiodes see.
     pub fn measure_all(&self, pixels: &[(PixelMixture, f64)]) -> C64 {
-        pixels
-            .iter()
-            .map(|(p, w)| self.measure(p) * *w)
-            .sum()
+        pixels.iter().map(|(p, w)| self.measure(p) * *w).sum()
     }
 }
 
@@ -151,7 +148,10 @@ mod tests {
         for deg in [0.0, 7.0, 22.5, 45.0, 61.0, 89.0] {
             let delta = crate::angle::deg2rad(deg);
             let zi = rx.measure(&PixelMixture::new(A::from_degrees(0.0).rotated(delta), 1.0));
-            let zq = rx.measure(&PixelMixture::new(A::from_degrees(45.0).rotated(delta), 1.0));
+            let zq = rx.measure(&PixelMixture::new(
+                A::from_degrees(45.0).rotated(delta),
+                1.0,
+            ));
             assert!(close(zi.abs(), 1.0), "roll {deg}: |zI| = {}", zi.abs());
             assert!(close(zq.abs(), 1.0));
             // The two axes stay mutually orthogonal under rotation.

@@ -116,10 +116,22 @@ mod tests {
 
     #[test]
     fn malus_basics() {
-        assert!(close(malus(A::from_degrees(0.0), A::from_degrees(0.0)), 1.0));
-        assert!(close(malus(A::from_degrees(0.0), A::from_degrees(90.0)), 0.0));
-        assert!(close(malus(A::from_degrees(0.0), A::from_degrees(45.0)), 0.5));
-        assert!(close(malus(A::from_degrees(0.0), A::from_degrees(60.0)), 0.25));
+        assert!(close(
+            malus(A::from_degrees(0.0), A::from_degrees(0.0)),
+            1.0
+        ));
+        assert!(close(
+            malus(A::from_degrees(0.0), A::from_degrees(90.0)),
+            0.0
+        ));
+        assert!(close(
+            malus(A::from_degrees(0.0), A::from_degrees(45.0)),
+            0.5
+        ));
+        assert!(close(
+            malus(A::from_degrees(0.0), A::from_degrees(60.0)),
+            0.25
+        ));
     }
 
     #[test]
@@ -169,14 +181,26 @@ mod tests {
     #[test]
     fn rho_clamped() {
         assert!(close(PixelMixture::new(A::from_degrees(0.0), 2.0).rho, 1.0));
-        assert!(close(PixelMixture::new(A::from_degrees(0.0), -1.0).rho, 0.0));
+        assert!(close(
+            PixelMixture::new(A::from_degrees(0.0), -1.0).rho,
+            0.0
+        ));
     }
 
     #[test]
     fn contrast_spans_minus_one_to_one() {
-        assert!(close(PixelMixture::new(A::from_degrees(0.0), 1.0).contrast(), 1.0));
-        assert!(close(PixelMixture::new(A::from_degrees(0.0), 0.5).contrast(), 0.0));
-        assert!(close(PixelMixture::new(A::from_degrees(0.0), 0.0).contrast(), -1.0));
+        assert!(close(
+            PixelMixture::new(A::from_degrees(0.0), 1.0).contrast(),
+            1.0
+        ));
+        assert!(close(
+            PixelMixture::new(A::from_degrees(0.0), 0.5).contrast(),
+            0.0
+        ));
+        assert!(close(
+            PixelMixture::new(A::from_degrees(0.0), 0.0).contrast(),
+            -1.0
+        ));
     }
 
     #[test]

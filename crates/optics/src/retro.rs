@@ -29,7 +29,10 @@ pub struct Orientation {
 impl Orientation {
     /// Face-on, unrotated.
     pub fn face_on() -> Self {
-        Self { roll: 0.0, yaw: 0.0 }
+        Self {
+            roll: 0.0,
+            yaw: 0.0,
+        }
     }
 
     /// Construct from degrees.

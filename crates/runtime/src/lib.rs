@@ -1,0 +1,250 @@
+//! Deterministic parallel sweep runtime.
+//!
+//! The simulator's experiment drivers are embarrassingly parallel: a sweep is
+//! a list of independent points, each seeded explicitly. This crate provides
+//! the one primitive they need — [`par_map_seeded`] — a parallel map that is
+//! **bit-for-bit identical at every thread count**:
+//!
+//! * every item's RNG seed is derived *from the run seed and the item index*
+//!   ([`derive_seed`], a splitmix64 mix), never from thread identity or
+//!   scheduling order;
+//! * results are collected **in index order**, so the output `Vec` is
+//!   independent of which worker finished first;
+//! * worker count comes from `RETROTURBO_THREADS` (default: available
+//!   parallelism); `RETROTURBO_THREADS=1` degenerates to a plain sequential
+//!   loop on the calling thread.
+//!
+//! Nested calls (a parallel point sweep whose per-point work itself calls a
+//! parallel packet loop) run the inner map sequentially on the worker thread,
+//! so thread count never multiplies and inner seeds stay index-derived.
+//!
+//! Zero dependencies; built on `std::thread::scope` and atomics only.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// splitmix64 finalizer: the standard 64-bit mixer from Vigna's
+/// `splitmix64.c`. Bijective, so distinct inputs give distinct outputs.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the RNG seed for item `index` of a run seeded with `run_seed`.
+///
+/// Two mixing rounds separate the seed and index domains so that
+/// `derive_seed(s, i) != derive_seed(s + 1, i - k)` collisions are no more
+/// likely than random. This is the *only* sanctioned way to seed per-item
+/// work inside a parallel region.
+#[inline]
+pub fn derive_seed(run_seed: u64, index: u64) -> u64 {
+    splitmix64(splitmix64(run_seed).wrapping_add(splitmix64(index ^ 0xA5A5_A5A5_A5A5_A5A5)))
+}
+
+thread_local! {
+    /// Set while the current thread is a `par_map_seeded` worker; nested
+    /// calls observe it and run sequentially.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+    /// Scoped thread-count override installed by [`with_threads`]; `0` means
+    /// "no override". Thread-local so concurrent tests don't race.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads a top-level [`par_map_seeded`] will use.
+///
+/// Resolution order: [`with_threads`] override, then the `RETROTURBO_THREADS`
+/// environment variable, then `std::thread::available_parallelism()`.
+/// Unparseable or zero values fall back to available parallelism.
+pub fn thread_count() -> usize {
+    let overridden = THREAD_OVERRIDE.with(Cell::get);
+    if overridden > 0 {
+        return overridden;
+    }
+    if let Ok(v) = std::env::var("RETROTURBO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `f` with the worker-thread count pinned to `n`, ignoring
+/// `RETROTURBO_THREADS`. Used by determinism tests to compare thread counts
+/// inside one process.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(n));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// True if the caller is already inside a parallel region (and a nested
+/// `par_map_seeded` would therefore run sequentially).
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(Cell::get)
+}
+
+/// Deterministic seeded parallel map.
+///
+/// Applies `f(index, item_seed, item)` to every item and returns the results
+/// **in item order**. `item_seed` is [`derive_seed`]`(run_seed, index)`; the
+/// output is bit-for-bit independent of the worker-thread count.
+///
+/// Panics in `f` are propagated to the caller (the scope joins all workers
+/// first).
+pub fn par_map_seeded<T, R, F>(run_seed: u64, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, u64, T) -> R + Sync,
+{
+    let n_threads = thread_count();
+    if n_threads <= 1 || items.len() <= 1 || in_parallel_region() {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, derive_seed(run_seed, i as u64), item))
+            .collect();
+    }
+
+    let n_items = items.len();
+    let n_workers = n_threads.min(n_items);
+    // Work queue: items behind a mutex of Options, claimed by an atomic
+    // cursor. Claiming order varies between runs; result placement does not.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let worker = || {
+            IN_PARALLEL_REGION.with(|c| c.set(true));
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n_items {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("retroturbo-runtime: work slot poisoned")
+                    .take()
+                    .expect("retroturbo-runtime: work item claimed twice");
+                let out = f(i, derive_seed(run_seed, i as u64), item);
+                *results[i]
+                    .lock()
+                    .expect("retroturbo-runtime: result slot poisoned") = Some(out);
+            }
+            IN_PARALLEL_REGION.with(|c| c.set(false));
+        };
+        // The calling thread is worker 0; spawn the rest.
+        let handles: Vec<_> = (1..n_workers).map(|_| scope.spawn(worker)).collect();
+        worker();
+        for h in handles {
+            // Propagate worker panics to the caller rather than aborting the
+            // scope with a double panic later.
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("retroturbo-runtime: result slot poisoned")
+                .unwrap_or_else(|| panic!("retroturbo-runtime: item {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // First three outputs of splitmix64 seeded with 1234567 (from the
+        // reference C implementation).
+        assert_eq!(splitmix64(1234567), 6457827717110365317);
+        assert_eq!(splitmix64(0), 16294208416658607535);
+    }
+
+    #[test]
+    fn derived_seeds_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..8u64 {
+            for i in 0..64u64 {
+                assert!(seen.insert(derive_seed(s, i)), "collision at ({s},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn map_matches_sequential_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let f = |i: usize, seed: u64, x: u64| (i as u64, seed, splitmix64(seed ^ x));
+        let seq = with_threads(1, || par_map_seeded(42, items.clone(), f));
+        for n in [2, 3, 8] {
+            let par = with_threads(n, || par_map_seeded(42, items.clone(), f));
+            assert_eq!(seq, par, "thread count {n} diverged");
+        }
+    }
+
+    #[test]
+    fn preserves_item_order() {
+        let out = with_threads(4, || {
+            par_map_seeded(7, (0..100u32).collect(), |i, _seed, x| {
+                assert_eq!(i as u32, x);
+                x * 2
+            })
+        });
+        assert_eq!(out, (0..100u32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_maps_run_sequentially() {
+        let out = with_threads(4, || {
+            par_map_seeded(1, vec![(); 8], |_, seed, ()| {
+                assert!(in_parallel_region());
+                par_map_seeded(seed, vec![(); 4], |_, inner_seed, ()| inner_seed)
+            })
+        });
+        let seq = with_threads(1, || {
+            par_map_seeded(1, vec![(); 8], |_, seed, ()| {
+                par_map_seeded(seed, vec![(); 4], |_, inner_seed, ()| inner_seed)
+            })
+        });
+        assert_eq!(out, seq);
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn with_threads_restores_previous_override() {
+        with_threads(3, || {
+            assert_eq!(thread_count(), 3);
+            with_threads(5, || assert_eq!(thread_count(), 5));
+            assert_eq!(thread_count(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map_seeded(0, empty, |_, _, x: u8| x).is_empty());
+        assert_eq!(par_map_seeded(0, vec![9u8], |_, _, x| x), vec![9]);
+    }
+}

@@ -1,12 +1,14 @@
-use retroturbo_sim::emulation::EmulatedLink;
 use retroturbo_core::PhyConfig;
+use retroturbo_sim::emulation::EmulatedLink;
 use std::time::Instant;
 fn main() {
-    for (name, cfg) in [("1kbps", PhyConfig::default_1kbps()),
-                        ("4kbps", PhyConfig::default_4kbps()),
-                        ("8kbps", PhyConfig::default_8kbps()),
-                        ("16kbps", PhyConfig::default_16kbps()),
-                        ("32kbps", PhyConfig::emulation_32kbps())] {
+    for (name, cfg) in [
+        ("1kbps", PhyConfig::default_1kbps()),
+        ("4kbps", PhyConfig::default_4kbps()),
+        ("8kbps", PhyConfig::default_8kbps()),
+        ("16kbps", PhyConfig::default_16kbps()),
+        ("32kbps", PhyConfig::emulation_32kbps()),
+    ] {
         let t0 = Instant::now();
         print!("{name}:");
         for snr in [-5.0, 0.0, 10.0, 20.0, 28.0, 33.0, 41.0, 48.0, 55.0] {

@@ -10,14 +10,14 @@
 //! link to the MAC's [`BitPipe`] for the coding-gain and rate-adaptation
 //! studies.
 
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
 use retroturbo_core::{Modulator, PhyConfig, Receiver, TagModel};
 use retroturbo_dsp::noise::{sigma_for_snr, NoiseSource};
 use retroturbo_dsp::Signal;
 use retroturbo_lcm::LcParams;
 use retroturbo_mac::BitPipe;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
 
 /// An emulated PHY link at a fixed SNR.
 pub struct EmulatedLink {

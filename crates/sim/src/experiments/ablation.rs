@@ -12,7 +12,7 @@ use retroturbo_core::preamble::{correct, PreambleCorrection, PreambleDetector};
 use retroturbo_core::training::{OfflineTraining, OnlineTrainer};
 use retroturbo_core::{Equalizer, Modulator, PhyConfig, TagModel};
 use retroturbo_dsp::noise::NoiseSource;
-use retroturbo_dsp::{C64, Signal};
+use retroturbo_dsp::{Signal, C64};
 use retroturbo_lcm::{Heterogeneity, LcParams, Panel};
 
 // ---------------------------------------------------------------------------
@@ -109,7 +109,12 @@ pub fn training_stages(snr_db: f64, n_packets: usize, seed: u64) -> Vec<Training
     };
     let params = LcParams::default();
     let nominal = TagModel::nominal(&cfg, &params);
-    let offline = OfflineTraining::collect(&cfg, &params, &OfflineTraining::default_variants(&params), 3);
+    let offline = OfflineTraining::collect(
+        &cfg,
+        &params,
+        &OfflineTraining::default_variants(&params),
+        3,
+    );
     let modulator = Modulator::new(cfg);
     let eq = Equalizer::new(cfg);
 
@@ -157,9 +162,18 @@ pub fn training_stages(snr_db: f64, n_packets: usize, seed: u64) -> Vec<Training
     mixture_only.refine = false;
     let full = OnlineTrainer::new(cfg, &offline);
     vec![
-        TrainingAblationRow { stage: "no training (nominal model)", ber: run(None, 10) },
-        TrainingAblationRow { stage: "KL mixture fit", ber: run(Some(&mixture_only), 10) },
-        TrainingAblationRow { stage: "mixture + per-class refinement", ber: run(Some(&full), 10) },
+        TrainingAblationRow {
+            stage: "no training (nominal model)",
+            ber: run(None, 10),
+        },
+        TrainingAblationRow {
+            stage: "KL mixture fit",
+            ber: run(Some(&mixture_only), 10),
+        },
+        TrainingAblationRow {
+            stage: "mixture + per-class refinement",
+            ber: run(Some(&full), 10),
+        },
     ]
 }
 
@@ -260,7 +274,11 @@ pub fn scheme_ladder(snr_db: f64, seed: u64) -> Vec<SchemeRow> {
         let ook = OokPhy::default();
         let bits: Vec<bool> = (0..64).map(|_| rng.gen()).collect();
         let mut panel = Panel::retroturbo(1, 1, params, Heterogeneity::none(), 0);
-        let mut wave = panel.simulate(&ook.drive(&bits, 1, 1), bits.len() * ook.samples_per_bit(), ook.fs);
+        let mut wave = panel.simulate(
+            &ook.drive(&bits, 1, 1),
+            bits.len() * ook.samples_per_bit(),
+            ook.fs,
+        );
         NoiseSource::new(seed).add_awgn(wave.samples_mut(), sigma);
         let dec = ook.demodulate(&wave, bits.len());
         let errs = dec.iter().zip(&bits).filter(|(a, b)| a != b).count();
@@ -337,7 +355,10 @@ mod tests {
     fn training_stages_strictly_improve() {
         let rows = training_stages(45.0, 3, 4);
         assert!(rows[0].ber > rows[2].ber, "training never helped: {rows:?}");
-        assert!(rows[2].ber <= rows[1].ber + 1e-9, "refinement hurt: {rows:?}");
+        assert!(
+            rows[2].ber <= rows[1].ber + 1e-9,
+            "refinement hurt: {rows:?}"
+        );
     }
 
     #[test]

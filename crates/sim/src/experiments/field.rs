@@ -6,6 +6,7 @@ use crate::link::LinkSimulator;
 use crate::link_budget::LinkBudget;
 use crate::scene::{AmbientLight, HumanMobility, Scene};
 use retroturbo_core::PhyConfig;
+use retroturbo_runtime::par_map_seeded;
 
 /// A labelled BER measurement.
 #[derive(Debug, Clone)]
@@ -27,23 +28,28 @@ fn run_point(cfg: PhyConfig, scene: Scene, seed: u64, effort: Effort) -> (f64, f
 }
 
 /// Fig. 16a: BER versus line-of-sight distance at 4 and 8 kbps.
+///
+/// Points run in parallel (see [`retroturbo_runtime::par_map_seeded`]); the
+/// output order and values are identical at every thread count.
 pub fn fig16a_ber_vs_distance(distances_m: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for (label, cfg) in [
         ("4kbps", PhyConfig::default_4kbps()),
         ("8kbps", PhyConfig::default_8kbps()),
     ] {
         for &d in distances_m {
-            let (ber, snr) = run_point(cfg, Scene::default_at(d), seed, effort);
-            out.push(BerPoint {
-                x: d,
-                label: label.into(),
-                ber,
-                snr_db: snr,
-            });
+            points.push((label, cfg, d));
         }
     }
-    out
+    par_map_seeded(seed, points, |_, _, (label, cfg, d)| {
+        let (ber, snr) = run_point(cfg, Scene::default_at(d), seed, effort);
+        BerPoint {
+            x: d,
+            label: label.into(),
+            ber,
+            snr_db: snr,
+        }
+    })
 }
 
 /// Fig. 16b: BER versus roll misalignment at two distances (inside and
@@ -55,82 +61,85 @@ pub fn fig16b_ber_vs_roll(
     seed: u64,
 ) -> Vec<BerPoint> {
     let cfg = PhyConfig::default_8kbps();
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for &d in distances_m {
         for &r in rolls_deg {
-            let (ber, snr) = run_point(cfg, Scene::default_at(d).with_roll(r), seed, effort);
-            out.push(BerPoint {
-                x: r,
-                label: format!("{d} m"),
-                ber,
-                snr_db: snr,
-            });
+            points.push((d, r));
         }
     }
-    out
+    par_map_seeded(seed, points, |_, _, (d, r)| {
+        let (ber, snr) = run_point(cfg, Scene::default_at(d).with_roll(r), seed, effort);
+        BerPoint {
+            x: r,
+            label: format!("{d} m"),
+            ber,
+            snr_db: snr,
+        }
+    })
 }
 
 /// Fig. 16c: BER versus yaw misalignment, with and without channel training
 /// (the training is what calibrates out the yaw-induced symbol deviation).
 pub fn fig16c_ber_vs_yaw(yaws_deg: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
     let cfg = PhyConfig::default_8kbps();
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for &trained in &[true, false] {
         for &y in yaws_deg {
-            let scene = Scene::default_at(2.5).with_yaw(y);
-            let mut sim = LinkSimulator::new(cfg, LinkBudget::fov10(), scene, seed);
-            if !trained {
-                sim = sim.without_training();
-            }
-            let snr = sim.effective_snr_db();
-            let ber = sim.run_ber(effort.packets(), effort.payload_bytes());
-            out.push(BerPoint {
-                x: y,
-                label: if trained { "trained".into() } else { "no training".into() },
-                ber,
-                snr_db: snr,
-            });
+            points.push((trained, y));
         }
     }
-    out
+    par_map_seeded(seed, points, |_, _, (trained, y)| {
+        let scene = Scene::default_at(2.5).with_yaw(y);
+        let mut sim = LinkSimulator::new(cfg, LinkBudget::fov10(), scene, seed);
+        if !trained {
+            sim = sim.without_training();
+        }
+        let snr = sim.effective_snr_db();
+        let ber = sim.run_ber(effort.packets(), effort.payload_bytes());
+        BerPoint {
+            x: y,
+            label: if trained {
+                "trained".into()
+            } else {
+                "no training".into()
+            },
+            ber,
+            snr_db: snr,
+        }
+    })
 }
 
 /// Fig. 16d: BER under the three ambient light presets.
 pub fn fig16d_ber_vs_ambient(effort: Effort, seed: u64) -> Vec<BerPoint> {
     let cfg = PhyConfig::default_8kbps();
-    [AmbientLight::Dark, AmbientLight::Night, AmbientLight::Day]
-        .iter()
-        .map(|&amb| {
-            let mut scene = Scene::default_at(5.0);
-            scene.ambient = amb;
-            let (ber, snr) = run_point(cfg, scene, seed, effort);
-            BerPoint {
-                x: amb.lux(),
-                label: format!("{amb:?}"),
-                ber,
-                snr_db: snr,
-            }
-        })
-        .collect()
+    let ambients = vec![AmbientLight::Dark, AmbientLight::Night, AmbientLight::Day];
+    par_map_seeded(seed, ambients, |_, _, amb| {
+        let mut scene = Scene::default_at(5.0);
+        scene.ambient = amb;
+        let (ber, snr) = run_point(cfg, scene, seed, effort);
+        BerPoint {
+            x: amb.lux(),
+            label: format!("{amb:?}"),
+            ber,
+            snr_db: snr,
+        }
+    })
 }
 
 /// Tab. 4: BER under the five human-mobility cases.
 pub fn tab4_human_mobility(effort: Effort, seed: u64) -> Vec<BerPoint> {
     let cfg = PhyConfig::default_8kbps();
-    HumanMobility::all()
-        .iter()
-        .map(|&mob| {
-            let mut scene = Scene::default_at(5.0);
-            scene.mobility = mob;
-            let (ber, snr) = run_point(cfg, scene, seed, effort);
-            BerPoint {
-                x: 0.0,
-                label: mob.label().into(),
-                ber,
-                snr_db: snr,
-            }
-        })
-        .collect()
+    par_map_seeded(seed, HumanMobility::all().to_vec(), |_, _, mob| {
+        let mut scene = Scene::default_at(5.0);
+        scene.mobility = mob;
+        let (ber, snr) = run_point(cfg, scene, seed, effort);
+        BerPoint {
+            x: 0.0,
+            label: mob.label().into(),
+            ber,
+            snr_db: snr,
+        }
+    })
 }
 
 /// Fig. 17a: DFE branch count versus distance — K = 1 (hard DFE), K = 16
@@ -138,47 +147,50 @@ pub fn tab4_human_mobility(effort: Effort, seed: u64) -> Vec<BerPoint> {
 pub fn fig17a_dfe_branches(distances_m: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
     let cfg = PhyConfig::default_8kbps();
     let viterbi_k = retroturbo_core::Equalizer::viterbi(cfg).branches();
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for (label, k) in [
         ("K=1".to_string(), 1usize),
         ("K=16".to_string(), 16),
         (format!("Viterbi (K={viterbi_k})"), viterbi_k),
     ] {
         for &d in distances_m {
-            let mut sim =
-                LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(d), seed)
-                    .with_branches(k);
-            let snr = sim.effective_snr_db();
-            let ber = sim.run_ber(effort.packets(), effort.payload_bytes());
-            out.push(BerPoint {
-                x: d,
-                label: label.clone(),
-                ber,
-                snr_db: snr,
-            });
+            points.push((label.clone(), k, d));
         }
     }
-    out
+    par_map_seeded(seed, points, |_, _, (label, k, d)| {
+        let mut sim = LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(d), seed)
+            .with_branches(k);
+        let snr = sim.effective_snr_db();
+        let ber = sim.run_ber(effort.packets(), effort.payload_bytes());
+        BerPoint {
+            x: d,
+            label,
+            ber,
+            snr_db: snr,
+        }
+    })
 }
 
 /// Fig. 17b: channel-training memory depth (paper's V = our `v_memory` − 1)
 /// versus distance.
 pub fn fig17b_training_depth(distances_m: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for v_mem in [1usize, 2, 3, 4] {
         let mut cfg = PhyConfig::default_8kbps();
         cfg.v_memory = v_mem;
         for &d in distances_m {
-            let (ber, snr) = run_point(cfg, Scene::default_at(d), seed, effort);
-            out.push(BerPoint {
-                x: d,
-                label: format!("V={}", v_mem - 1),
-                ber,
-                snr_db: snr,
-            });
+            points.push((cfg, v_mem, d));
         }
     }
-    out
+    par_map_seeded(seed, points, |_, _, (cfg, v_mem, d)| {
+        let (ber, snr) = run_point(cfg, Scene::default_at(d), seed, effort);
+        BerPoint {
+            x: d,
+            label: format!("V={}", v_mem - 1),
+            ber,
+            snr_db: snr,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -194,8 +206,14 @@ mod tests {
     fn fig16a_shape_inside_vs_outside_range() {
         // Just two distances: well inside and far outside the working range.
         let pts = fig16a_ber_vs_distance(&[4.0, 14.0], tiny(), 1);
-        let near_8k = pts.iter().find(|p| p.label == "8kbps" && p.x == 4.0).unwrap();
-        let far_8k = pts.iter().find(|p| p.label == "8kbps" && p.x == 14.0).unwrap();
+        let near_8k = pts
+            .iter()
+            .find(|p| p.label == "8kbps" && p.x == 4.0)
+            .unwrap();
+        let far_8k = pts
+            .iter()
+            .find(|p| p.label == "8kbps" && p.x == 14.0)
+            .unwrap();
         assert!(near_8k.ber < 0.01, "near BER {}", near_8k.ber);
         assert!(far_8k.ber > 0.05, "far BER {}", far_8k.ber);
     }

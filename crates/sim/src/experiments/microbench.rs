@@ -29,13 +29,24 @@ pub struct LatencyReport {
     pub train_cpu_s: f64,
     /// Wall-clock of DFE demodulation, seconds.
     pub demod_cpu_s: f64,
+    /// Preamble-search throughput: polled slots per CPU second.
+    pub detect_sym_per_s: f64,
+    /// Training throughput: pilot slots fitted per CPU second.
+    pub train_sym_per_s: f64,
+    /// Demodulation throughput: payload symbols equalized per CPU second.
+    pub demod_sym_per_s: f64,
     /// Real-time capable: demod wall-clock < payload airtime.
     pub real_time: bool,
 }
 
 /// Measure the latency breakdown of transmitting and receiving one
 /// `payload_bytes` packet at `cfg`.
-pub fn latency_report(label: &str, cfg: PhyConfig, payload_bytes: usize, seed: u64) -> LatencyReport {
+pub fn latency_report(
+    label: &str,
+    cfg: PhyConfig,
+    payload_bytes: usize,
+    seed: u64,
+) -> LatencyReport {
     let params = LcParams::default();
     let modulator = Modulator::new(cfg);
     let model = TagModel::nominal(&cfg, &params);
@@ -80,14 +91,28 @@ pub fn latency_report(label: &str, cfg: PhyConfig, payload_bytes: usize, seed: u
     let train_cpu = (total - no_train).max(0.0);
     let detect_cpu = (no_train - demod).max(0.0);
     let payload_air = frame.payload_slots as f64 * cfg.t_slot;
+    // Per-stage throughput in symbols (slots) processed per CPU second; the
+    // receiver keeps real time when each stage's throughput exceeds the
+    // on-air symbol rate 1/t_slot.
+    let per_s = |n_slots: usize, cpu_s: f64| {
+        if cpu_s > 0.0 {
+            n_slots as f64 / cpu_s
+        } else {
+            f64::INFINITY // stage too fast to resolve against the timer
+        }
+    };
+    let training_slots = cfg.training_rounds * cfg.l_order;
     LatencyReport {
         label: label.into(),
         preamble_air_s: cfg.preamble_slots as f64 * cfg.t_slot,
-        training_air_s: (cfg.training_rounds * cfg.l_order) as f64 * cfg.t_slot,
+        training_air_s: training_slots as f64 * cfg.t_slot,
         payload_air_s: payload_air,
         detect_cpu_s: detect_cpu,
         train_cpu_s: train_cpu,
         demod_cpu_s: demod,
+        detect_sym_per_s: per_s(cfg.preamble_slots, detect_cpu),
+        train_sym_per_s: per_s(training_slots, train_cpu),
+        demod_sym_per_s: per_s(frame.payload_slots, demod),
         real_time: demod < payload_air,
     }
 }

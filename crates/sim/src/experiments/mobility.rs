@@ -12,8 +12,9 @@ use rand::Rng;
 use rand::SeedableRng;
 use retroturbo_core::{Modulator, PhyConfig, Receiver, TagModel};
 use retroturbo_dsp::noise::{sigma_for_snr, NoiseSource};
-use retroturbo_dsp::{C64, Signal};
+use retroturbo_dsp::{Signal, C64};
 use retroturbo_lcm::LcParams;
+use retroturbo_runtime::par_map_seeded;
 
 /// One drift measurement.
 #[derive(Debug, Clone)]
@@ -42,40 +43,44 @@ pub fn drift_sweep(
     let static_rx = Receiver::new(cfg, &params, 1);
     let tracked_rx = Receiver::new(cfg, &params, 1).with_tracking(3);
 
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for &rate in rates_dps {
         for (mode, rx) in [("static", &static_rx), ("tracked", &tracked_rx)] {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut noise = NoiseSource::new(seed ^ 0xD01F);
-            let mut errs = 0usize;
-            let mut total = 0usize;
-            for _ in 0..n_packets {
-                let bits: Vec<bool> = (0..payload_bytes * 8).map(|_| rng.gen()).collect();
-                let frame = modulator.modulate(&bits);
-                let wave = model.render_levels(&frame.levels);
-                // Roll drift: constellation rotates at 2× the physical rate.
-                let w = 2.0 * rate.to_radians();
-                let mut rxw: Vec<C64> = wave
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &z)| z * C64::cis(w * i as f64 / cfg.fs))
-                    .collect();
-                noise.add_awgn(&mut rxw, sigma_for_snr(snr_db, 1.0));
-                let sig = Signal::new(rxw, cfg.fs);
-                match rx.receive_at(&sig, 0, bits.len()) {
-                    Ok(r) => errs += r.bits.iter().zip(&bits).filter(|(a, b)| a != b).count(),
-                    Err(_) => errs += bits.len(),
-                }
-                total += bits.len();
-            }
-            out.push(DriftPoint {
-                roll_rate_dps: rate,
-                mode,
-                ber: errs as f64 / total.max(1) as f64,
-            });
+            points.push((rate, mode, rx));
         }
     }
-    out
+    let modulator = &modulator;
+    let model = &model;
+    par_map_seeded(seed, points, |_, _, (rate, mode, rx)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut noise = NoiseSource::new(seed ^ 0xD01F);
+        let mut errs = 0usize;
+        let mut total = 0usize;
+        for _ in 0..n_packets {
+            let bits: Vec<bool> = (0..payload_bytes * 8).map(|_| rng.gen()).collect();
+            let frame = modulator.modulate(&bits);
+            let wave = model.render_levels(&frame.levels);
+            // Roll drift: constellation rotates at 2× the physical rate.
+            let w = 2.0 * rate.to_radians();
+            let mut rxw: Vec<C64> = wave
+                .iter()
+                .enumerate()
+                .map(|(i, &z)| z * C64::cis(w * i as f64 / cfg.fs))
+                .collect();
+            noise.add_awgn(&mut rxw, sigma_for_snr(snr_db, 1.0));
+            let sig = Signal::new(rxw, cfg.fs);
+            match rx.receive_at(&sig, 0, bits.len()) {
+                Ok(r) => errs += r.bits.iter().zip(&bits).filter(|(a, b)| a != b).count(),
+                Err(_) => errs += bits.len(),
+            }
+            total += bits.len();
+        }
+        DriftPoint {
+            roll_rate_dps: rate,
+            mode,
+            ber: errs as f64 / total.max(1) as f64,
+        }
+    })
 }
 
 #[cfg(test)]

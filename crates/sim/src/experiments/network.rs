@@ -11,6 +11,7 @@ use retroturbo_core::PhyConfig;
 use retroturbo_mac::{
     mean_throughput, protected_bits, stop_and_wait, CodingChoice, RateTable, TagAssignment,
 };
+use retroturbo_runtime::par_map_seeded;
 
 /// One BER-vs-SNR measurement.
 #[derive(Debug, Clone)]
@@ -37,19 +38,21 @@ pub fn fig18a_ber_vs_snr(
         ("16kbps", PhyConfig::default_16kbps()),
         ("32kbps", PhyConfig::emulation_32kbps()),
     ];
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for (label, cfg) in rates {
         for &snr in snrs_db {
-            let mut link = EmulatedLink::new(cfg, snr, seed);
-            let ber = link.run_ber(n_packets, payload_bytes, seed ^ 0x5A5A);
-            out.push(SnrBerPoint {
-                label: label.into(),
-                snr_db: snr,
-                ber,
-            });
+            points.push((label, cfg, snr));
         }
     }
-    out
+    par_map_seeded(seed, points, |_, _, (label, cfg, snr)| {
+        let mut link = EmulatedLink::new(cfg, snr, seed);
+        let ber = link.run_ber(n_packets, payload_bytes, seed ^ 0x5A5A);
+        SnrBerPoint {
+            label: label.into(),
+            snr_db: snr,
+            ber,
+        }
+    })
 }
 
 /// The 1%-BER threshold (dB) of each curve in a Fig. 18a sweep, by linear
@@ -128,31 +131,33 @@ pub fn fig18b_coding_gain(
             Some(CodingChoice { n: 255, k: 127 }),
         ),
     ];
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for (label, cfg, coding) in options {
         for &snr in snrs_db {
-            let mut link = EmulatedLink::new(cfg, snr, seed);
-            let phy_bits = protected_bits(payload_bytes, coding);
-            let airtime = link.frame_airtime(phy_bits);
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
-            let mut delivered_bits = 0usize;
-            let mut time = 0.0f64;
-            for _ in 0..n_packets {
-                let payload: Vec<u8> = (0..payload_bytes).map(|_| rng.gen()).collect();
-                let stats = stop_and_wait(&mut link, &payload, coding, 0x5B, 8);
-                time += stats.attempts as f64 * airtime;
-                if stats.delivered {
-                    delivered_bits += payload_bytes * 8;
-                }
-            }
-            out.push(GoodputPoint {
-                label: label.into(),
-                snr_db: snr,
-                goodput_bps: delivered_bits as f64 / time.max(1e-9),
-            });
+            points.push((label, cfg, coding, snr));
         }
     }
-    out
+    par_map_seeded(seed, points, |_, _, (label, cfg, coding, snr)| {
+        let mut link = EmulatedLink::new(cfg, snr, seed);
+        let phy_bits = protected_bits(payload_bytes, coding);
+        let airtime = link.frame_airtime(phy_bits);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let mut delivered_bits = 0usize;
+        let mut time = 0.0f64;
+        for _ in 0..n_packets {
+            let payload: Vec<u8> = (0..payload_bytes).map(|_| rng.gen()).collect();
+            let stats = stop_and_wait(&mut link, &payload, coding, 0x5B, 8);
+            time += stats.attempts as f64 * airtime;
+            if stats.delivered {
+                delivered_bits += payload_bytes * 8;
+            }
+        }
+        GoodputPoint {
+            label: label.into(),
+            snr_db: snr,
+            goodput_bps: delivered_bits as f64 / time.max(1e-9),
+        }
+    })
 }
 
 /// One Fig. 18c measurement.
@@ -171,12 +176,17 @@ pub struct RateAdaptPoint {
 /// Fig. 18c: rate-adaptive MAC versus the fixed-rate baseline, tags placed
 /// uniformly in 1–4.3 m under the FoV-50° budget (65 → 14 dB), averaged over
 /// `trials` placements.
-pub fn fig18c_rate_adaptation(tag_counts: &[usize], trials: usize, seed: u64) -> Vec<RateAdaptPoint> {
+pub fn fig18c_rate_adaptation(
+    tag_counts: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Vec<RateAdaptPoint> {
     let budget = LinkBudget::fov50();
     let table = RateTable::profiled_default();
     let payload_bits = 128 * 8;
-    let mut out = Vec::new();
-    for &n in tag_counts {
+    let budget = &budget;
+    let table = &table;
+    par_map_seeded(seed, tag_counts.to_vec(), |_, _, n| {
         let mut adaptive_acc = 0.0;
         let mut baseline_acc = 0.0;
         for trial in 0..trials {
@@ -211,14 +221,13 @@ pub fn fig18c_rate_adaptation(tag_counts: &[usize], trials: usize, seed: u64) ->
         }
         let a = adaptive_acc / trials as f64;
         let b = baseline_acc / trials as f64;
-        out.push(RateAdaptPoint {
+        RateAdaptPoint {
             n_tags: n,
             adaptive_bps: a,
             baseline_bps: b,
             gain: a / b.max(1e-9),
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Headline summary: rate gain over the OOK baseline (the paper's 32× from
@@ -273,8 +282,16 @@ mod tests {
     #[test]
     fn thresholds_extraction() {
         let pts = vec![
-            SnrBerPoint { label: "x".into(), snr_db: 10.0, ber: 0.1 },
-            SnrBerPoint { label: "x".into(), snr_db: 20.0, ber: 0.001 },
+            SnrBerPoint {
+                label: "x".into(),
+                snr_db: 10.0,
+                ber: 0.1,
+            },
+            SnrBerPoint {
+                label: "x".into(),
+                snr_db: 20.0,
+                ber: 0.001,
+            },
         ];
         let th = thresholds_at_one_percent(&pts);
         let v = th[0].1.unwrap();
@@ -292,7 +309,11 @@ mod tests {
             pts[1].gain
         );
         // Order of magnitude matches the paper (1.2× @ 4 → 3.7× @ 100).
-        assert!(pts[1].gain > 1.5 && pts[1].gain < 8.0, "gain {}", pts[1].gain);
+        assert!(
+            pts[1].gain > 1.5 && pts[1].gain < 8.0,
+            "gain {}",
+            pts[1].gain
+        );
     }
 
     #[test]

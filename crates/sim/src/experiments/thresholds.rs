@@ -9,6 +9,7 @@
 use retroturbo_core::perf_index::{candidate_configs, min_distance, relative_threshold_db};
 use retroturbo_core::{PhyConfig, TagModel};
 use retroturbo_lcm::LcParams;
+use retroturbo_runtime::par_map_seeded;
 
 /// One point of the Fig. 13 surface.
 #[derive(Debug, Clone, Copy)]
@@ -49,21 +50,23 @@ pub fn fig13_threshold_surface(
     n_probes: usize,
     seed: u64,
 ) -> Vec<SurfacePoint> {
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for &rate in rates_bps {
         for cfg in candidate_configs(rate, 40_000.0, 4e-3) {
-            let model = model_for(&cfg);
-            let d = min_distance(&cfg, &model, n_slots, n_probes, seed);
-            out.push(SurfacePoint {
-                rate_bps: rate,
-                l: cfg.l_order,
-                p: cfg.pqam_order,
-                t_slot: cfg.t_slot,
-                d,
-            });
+            points.push((rate, cfg));
         }
     }
-    out
+    par_map_seeded(seed, points, |_, _, (rate, cfg)| {
+        let model = model_for(&cfg);
+        let d = min_distance(&cfg, &model, n_slots, n_probes, seed);
+        SurfacePoint {
+            rate_bps: rate,
+            l: cfg.l_order,
+            p: cfg.pqam_order,
+            t_slot: cfg.t_slot,
+            d,
+        }
+    })
 }
 
 /// Tab. 3: optimal parameters and relative thresholds per rate. The first

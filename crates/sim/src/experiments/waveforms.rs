@@ -50,9 +50,7 @@ pub fn fig5a_basic_dsm(bits: &[bool], tau1_ms: f64, fs: f64) -> Vec<Series> {
         // discharges for the rest of the symbol.
         let mut drive = vec![false; n];
         if b {
-            for t in k * spt..(k + 1) * spt {
-                drive[t] = true;
-            }
+            drive[k * spt..(k + 1) * spt].fill(true);
         }
         let g = simulate(&p, LcState::relaxed(), &drive, dt);
         for (s, &v) in sum.iter_mut().zip(&g) {
@@ -88,9 +86,7 @@ pub fn fig5b_overlapped_dsm(l: usize, t_ms: f64, fs: f64) -> Vec<Series> {
         let mut s = k;
         while (s + 1) * spt <= n {
             if (s - k) % l == 0 {
-                for t in s * spt..(s + 1) * spt {
-                    drive[t] = true;
-                }
+                drive[s * spt..(s + 1) * spt].fill(true);
             }
             s += 1;
         }
@@ -132,10 +128,26 @@ pub fn fig9_iq_orthogonality(
     let mut panel = Panel::retroturbo(l, 1, LcParams::default(), Heterogeneity::none(), 0);
     let n = 2 * l * spt;
     let cmds = vec![
-        DriveCommand { sample: 0, module: 0, level: 1 },
-        DriveCommand { sample: 0, module: l, level: 1 },
-        DriveCommand { sample: spt, module: 0, level: 0 },
-        DriveCommand { sample: spt, module: l, level: 0 },
+        DriveCommand {
+            sample: 0,
+            module: 0,
+            level: 1,
+        },
+        DriveCommand {
+            sample: 0,
+            module: l,
+            level: 1,
+        },
+        DriveCommand {
+            sample: spt,
+            module: 0,
+            level: 0,
+        },
+        DriveCommand {
+            sample: spt,
+            module: l,
+            level: 0,
+        },
     ];
     let sig = panel.simulate(&cmds, n, fs);
     // Pulse = deviation from the rest level; fired modules swing 2/L on

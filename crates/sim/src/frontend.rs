@@ -16,7 +16,7 @@
 use retroturbo_dsp::carrier::{combine_iq, PassbandChain, PassbandConfig};
 use retroturbo_dsp::noise::NoiseSource;
 use retroturbo_dsp::resample::interpolate;
-use retroturbo_dsp::{C64, Signal};
+use retroturbo_dsp::{Signal, C64};
 
 /// Ambient light injected at the passband: a DC level plus 100 Hz flicker
 /// (twice the 50 Hz mains), in units of the signal's full scale.
@@ -110,8 +110,7 @@ impl Frontend {
             for (i, z) in pass.samples_mut().iter_mut().enumerate() {
                 let t = i as f64 / fs;
                 z.re += ambient.dc
-                    + ambient.flicker
-                        * (2.0 * std::f64::consts::PI * ambient.flicker_hz * t).sin();
+                    + ambient.flicker * (2.0 * std::f64::consts::PI * ambient.flicker_hz * t).sin();
                 if passband_noise_sigma > 0.0 {
                     z.re += noise.standard_normal() * passband_noise_sigma;
                 }

@@ -11,8 +11,8 @@
 #![warn(missing_docs)]
 
 pub mod emulation;
-pub mod frontend;
 pub mod experiments;
+pub mod frontend;
 pub mod link;
 pub mod link_budget;
 pub mod power;

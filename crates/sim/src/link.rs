@@ -10,7 +10,7 @@ use crate::link_budget::LinkBudget;
 use crate::scene::Scene;
 use retroturbo_core::{Modulator, PhyConfig, Receiver, RxError};
 use retroturbo_dsp::noise::{sigma_for_snr, NoiseSource};
-use retroturbo_dsp::{C64, Signal};
+use retroturbo_dsp::{Signal, C64};
 use retroturbo_lcm::{Heterogeneity, LcParams, Panel};
 use retroturbo_optics::retro::{yaw_pixel_skew, Retroreflector};
 
@@ -113,6 +113,24 @@ impl LinkSimulator {
     /// Simulate one packet of `bits` payload bits; `pkt_seed` varies noise
     /// and data across packets.
     pub fn run_packet(&mut self, bits: &[bool], pkt_seed: u64) -> PacketOutcome {
+        let (outcome, offset, symbols) = self.run_packet_core(bits, pkt_seed);
+        self.last_offset = offset;
+        self.last_symbols = symbols;
+        outcome
+    }
+
+    /// The shareable packet pipeline: tag ODE → channel → receiver. Takes
+    /// `&self` so [`Self::run_ber`] can fan packets out across worker
+    /// threads; all per-packet state (panel clone, noise stream) is local.
+    fn run_packet_core(
+        &self,
+        bits: &[bool],
+        pkt_seed: u64,
+    ) -> (
+        PacketOutcome,
+        Option<usize>,
+        Vec<retroturbo_core::PqamSymbol>,
+    ) {
         let cfg = &self.cfg;
         let spt = cfg.samples_per_slot();
         let snr_db = self.effective_snr_db();
@@ -136,16 +154,14 @@ impl LinkSimulator {
             let t = i as f64 / cfg.fs;
             let flutter = 1.0
                 + flut_amp
-                    * (2.0 * std::f64::consts::PI * flut_rate * t
-                        + (pkt_seed % 17) as f64)
-                        .sin();
+                    * (2.0 * std::f64::consts::PI * flut_rate * t + (pkt_seed % 17) as f64).sin();
             samples.push(roll_rot * z * (amp * flutter));
         }
         let mut sig = Signal::new(samples, cfg.fs);
         if snr_db.is_finite() {
-            let sigma =
-                sigma_for_snr(snr_db, amp).hypot(self.scene.ambient.residual_noise_sigma());
-            let mut ns = NoiseSource::new(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(pkt_seed));
+            let sigma = sigma_for_snr(snr_db, amp).hypot(self.scene.ambient.residual_noise_sigma());
+            let mut ns =
+                NoiseSource::new(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(pkt_seed));
             ns.add_awgn(sig.samples_mut(), sigma);
         } else {
             // Beyond the retro cutoff: nothing comes back but noise.
@@ -160,30 +176,28 @@ impl LinkSimulator {
             .receive_window(&sig, 0, pad + 2 * spt, bits.len())
         {
             Ok(r) => {
-                self.last_offset = Some(r.offset);
-                self.last_symbols = r.symbols.clone();
-                let errs = r
-                    .bits
-                    .iter()
-                    .zip(bits)
-                    .filter(|(a, b)| a != b)
-                    .count();
+                let errs = r.bits.iter().zip(bits).filter(|(a, b)| a != b).count();
+                (
+                    PacketOutcome {
+                        bit_errors: errs,
+                        bits: bits.len(),
+                        detected: true,
+                        snr_db,
+                    },
+                    Some(r.offset),
+                    r.symbols,
+                )
+            }
+            Err(RxError::NoPreamble) | Err(RxError::Truncated) => (
                 PacketOutcome {
-                    bit_errors: errs,
+                    bit_errors: bits.len(),
                     bits: bits.len(),
-                    detected: true,
+                    detected: false,
                     snr_db,
-                }
-            }
-            Err(RxError::NoPreamble) | Err(RxError::Truncated) => {
-                self.last_offset = None;
-                PacketOutcome {
-                bit_errors: bits.len(),
-                bits: bits.len(),
-                detected: false,
-                snr_db,
-            }
-            }
+                },
+                None,
+                Vec::new(),
+            ),
         }
     }
 
@@ -208,19 +222,27 @@ impl LinkSimulator {
     /// Run `n_packets` packets of `payload_bytes` random payloads and return
     /// the aggregate BER (the paper's per-point protocol: 30 × 128-byte
     /// packets, §7.1).
+    ///
+    /// Packets run in parallel across `RETROTURBO_THREADS` workers. Each
+    /// packet's payload RNG is seeded from `(self.seed + 1, packet index)` and
+    /// its noise stream from the packet index, so the aggregate BER is
+    /// bit-for-bit identical at every thread count.
     pub fn run_ber(&mut self, n_packets: usize, payload_bytes: usize) -> f64 {
         use rand::rngs::StdRng;
         use rand::Rng;
         use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
-        let mut errs = 0usize;
-        let mut total = 0usize;
-        for p in 0..n_packets {
-            let bits: Vec<bool> = (0..payload_bytes * 8).map(|_| rng.gen()).collect();
-            let o = self.run_packet(&bits, p as u64);
-            errs += o.bit_errors;
-            total += o.bits;
-        }
+        let this = &*self;
+        let outcomes = retroturbo_runtime::par_map_seeded(
+            this.seed.wrapping_add(1),
+            (0..n_packets as u64).collect(),
+            |_, bits_seed, p| {
+                let mut rng = StdRng::seed_from_u64(bits_seed);
+                let bits: Vec<bool> = (0..payload_bytes * 8).map(|_| rng.gen()).collect();
+                this.run_packet_core(&bits, p).0
+            },
+        );
+        let errs: usize = outcomes.iter().map(|o| o.bit_errors).sum();
+        let total: usize = outcomes.iter().map(|o| o.bits).sum();
         errs as f64 / total.max(1) as f64
     }
 }
@@ -245,36 +267,24 @@ mod tests {
 
     #[test]
     fn close_range_is_error_free() {
-        let mut sim = LinkSimulator::new(
-            small_cfg(),
-            LinkBudget::fov10(),
-            Scene::default_at(2.0),
-            1,
-        );
+        let mut sim =
+            LinkSimulator::new(small_cfg(), LinkBudget::fov10(), Scene::default_at(2.0), 1);
         let ber = sim.run_ber(2, 16);
         assert_eq!(ber, 0.0, "BER {ber} at 2 m");
     }
 
     #[test]
     fn far_range_fails() {
-        let mut sim = LinkSimulator::new(
-            small_cfg(),
-            LinkBudget::fov10(),
-            Scene::default_at(30.0),
-            2,
-        );
+        let mut sim =
+            LinkSimulator::new(small_cfg(), LinkBudget::fov10(), Scene::default_at(30.0), 2);
         let ber = sim.run_ber(2, 16);
         assert!(ber > 0.05, "BER {ber} at 30 m should be high");
     }
 
     #[test]
     fn roll_does_not_hurt() {
-        let mut straight = LinkSimulator::new(
-            small_cfg(),
-            LinkBudget::fov10(),
-            Scene::default_at(3.0),
-            3,
-        );
+        let mut straight =
+            LinkSimulator::new(small_cfg(), LinkBudget::fov10(), Scene::default_at(3.0), 3);
         let mut rolled = LinkSimulator::new(
             small_cfg(),
             LinkBudget::fov10(),
@@ -317,7 +327,8 @@ mod tests {
         let mut scene = Scene::default_at(3.0);
         scene.ambient = AmbientLight::Day;
         scene.mobility = HumanMobility::ThreeWalkers;
-        let mut base = LinkSimulator::new(small_cfg(), LinkBudget::fov10(), Scene::default_at(3.0), 6);
+        let mut base =
+            LinkSimulator::new(small_cfg(), LinkBudget::fov10(), Scene::default_at(3.0), 6);
         let mut pert = LinkSimulator::new(small_cfg(), LinkBudget::fov10(), scene, 6);
         let ber_base = base.run_ber(3, 16);
         let ber_pert = pert.run_ber(3, 16);

@@ -83,7 +83,7 @@ mod tests {
     }
 
     #[test]
-    fn frame_power_close_to_average_model(){
+    fn frame_power_close_to_average_model() {
         let cfg = PhyConfig::default_8kbps();
         let m = Modulator::new(cfg);
         let bits: Vec<bool> = (0..1024).map(|i| (i * 7) % 3 == 0).collect();

@@ -1,0 +1,48 @@
+//! Determinism regression: the parallel sweep runtime must produce
+//! byte-identical experiment output regardless of thread count.
+//!
+//! This is the contract that makes `RETROTURBO_THREADS` safe to tune: a
+//! figure reproduced on a 1-core laptop and on a 64-core server must agree
+//! bit-for-bit, because per-item seeds are derived from (run seed, item
+//! index) — never from scheduling order.
+
+use retroturbo_runtime::with_threads;
+use retroturbo_sim::experiments::field::{fig16a_ber_vs_distance, BerPoint};
+use retroturbo_sim::experiments::Effort;
+
+fn run_at(threads: usize) -> Vec<BerPoint> {
+    with_threads(threads, || {
+        fig16a_ber_vs_distance(&[4.0, 9.0], Effort::Quick, 7)
+    })
+}
+
+fn assert_identical(a: &[BerPoint], b: &[BerPoint], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: point count differs");
+    for (i, (p, q)) in a.iter().zip(b).enumerate() {
+        assert_eq!(p.label, q.label, "{what}: point {i} label");
+        assert_eq!(p.x.to_bits(), q.x.to_bits(), "{what}: point {i} x");
+        assert_eq!(
+            p.ber.to_bits(),
+            q.ber.to_bits(),
+            "{what}: point {i} BER differs: {} vs {}",
+            p.ber,
+            q.ber
+        );
+        assert_eq!(
+            p.snr_db.to_bits(),
+            q.snr_db.to_bits(),
+            "{what}: point {i} SNR differs: {} vs {}",
+            p.snr_db,
+            q.snr_db
+        );
+    }
+}
+
+#[test]
+fn fig16a_identical_across_thread_counts() {
+    let t1 = run_at(1);
+    let t2 = run_at(2);
+    let t8 = run_at(8);
+    assert_identical(&t1, &t2, "1 vs 2 threads");
+    assert_identical(&t1, &t8, "1 vs 8 threads");
+}

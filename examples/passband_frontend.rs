@@ -63,7 +63,10 @@ fn main() {
         .receive_window(&recovered, 0, 3 * cfg.samples_per_slot(), bits.len())
         .expect("frame lost in the front end");
     let errs = out.bits.iter().zip(&bits).filter(|(a, b)| a != b).count();
-    println!("bit errors through the full passband path: {errs}/{}", bits.len());
+    println!(
+        "bit errors through the full passband path: {errs}/{}",
+        bits.len()
+    );
     println!(
         "payload: {}",
         String::from_utf8_lossy(&retroturbo::coding::bits_to_bytes(&out.bits)[..payload.len()])

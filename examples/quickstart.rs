@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use retroturbo::dsp::noise::{sigma_for_snr, NoiseSource};
-use retroturbo::dsp::{C64, Signal};
+use retroturbo::dsp::{Signal, C64};
 use retroturbo::lcm::{Heterogeneity, LcParams, Panel};
 use retroturbo::phy::{Modulator, PhyConfig, Receiver};
 
@@ -64,7 +64,9 @@ fn main() {
 
     // --- Reader side: detect, correct, train, equalize. ---
     let receiver = Receiver::new(cfg, &LcParams::default(), 3);
-    let result = receiver.receive(&sig, bits.len()).expect("no preamble found");
+    let result = receiver
+        .receive(&sig, bits.len())
+        .expect("no preamble found");
     println!(
         "detected frame at sample {} (score {:.4})",
         result.offset, result.preamble_residual
@@ -78,6 +80,9 @@ fn main() {
         .filter(|(a, b)| a != b)
         .count();
     println!("bit errors: {errors} / {}", bits.len());
-    println!("payload: {}", String::from_utf8_lossy(&recovered[..payload.len()]));
+    println!(
+        "payload: {}",
+        String::from_utf8_lossy(&recovered[..payload.len()])
+    );
     assert_eq!(errors, 0, "expected a clean decode at 32 dB");
 }

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example rotation_demo`
 
-use retroturbo::dsp::{C64, Signal};
+use retroturbo::dsp::{Signal, C64};
 use retroturbo::lcm::{Heterogeneity, LcParams, Panel};
 use retroturbo::optics::{channel_coefficient, PolAngle};
 use retroturbo::phy::{Modulator, PhyConfig, Receiver};
@@ -29,10 +29,7 @@ fn main() {
         let roll = (roll_deg as f64).to_radians();
 
         // What a fixed-analyzer PDM receiver would keep of its channel:
-        let pdm = channel_coefficient(
-            PolAngle::from_radians(roll),
-            PolAngle::from_degrees(0.0),
-        );
+        let pdm = channel_coefficient(PolAngle::from_radians(roll), PolAngle::from_degrees(0.0));
 
         // The physical PQAM link at this roll.
         let mut panel = Panel::retroturbo(
@@ -48,17 +45,14 @@ fn main() {
             cfg.fs,
         );
         let rot = C64::cis(2.0 * roll);
-        let sig = Signal::new(
-            wave.samples().iter().map(|&z| rot * z).collect(),
-            cfg.fs,
-        );
+        let sig = Signal::new(wave.samples().iter().map(|&z| rot * z).collect(), cfg.fs);
 
-        let out = receiver.receive_at(&sig, 0, bits.len()).expect("decode failed");
+        let out = receiver
+            .receive_at(&sig, 0, bits.len())
+            .expect("decode failed");
         let errors = out.bits.iter().zip(&bits).filter(|(a, b)| a != b).count();
 
-        println!(
-            "{roll_deg:8}  {pdm:+9.3}  (2x{roll_deg} deg applied)   {errors}"
-        );
+        println!("{roll_deg:8}  {pdm:+9.3}  (2x{roll_deg} deg applied)   {errors}");
         assert_eq!(errors, 0, "PQAM must be rotation-free at {roll_deg} deg");
     }
     println!("\nPQAM decodes error-free at every roll; a PDM channel coefficient");

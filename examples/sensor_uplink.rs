@@ -38,7 +38,11 @@ fn main() {
     let mut airtime = 0.0f64;
     let n_readings = 24;
     for seq in 0..n_readings {
-        let payload = reading(seq as u16, 21_300 + 17 * seq as i32, 44_000 + 250 * seq as u32);
+        let payload = reading(
+            seq as u16,
+            21_300 + 17 * seq as i32,
+            44_000 + 250 * seq as u32,
+        );
         let stats = stop_and_wait(&mut link, &payload, coding, 0x5B, 6);
         let frame_air = link.frame_airtime(protected_bits(payload.len(), coding));
         airtime += stats.attempts as f64 * frame_air;

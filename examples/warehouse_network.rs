@@ -61,11 +61,7 @@ fn main() {
         "super-frame: {} slots over {:.1} ms (longest slot {:.1} ms)",
         slots.len(),
         duration * 1e3,
-        slots
-            .iter()
-            .map(|s| s.duration)
-            .fold(0.0f64, f64::max)
-            * 1e3
+        slots.iter().map(|s| s.duration).fold(0.0f64, f64::max) * 1e3
     );
 
     // --- Compare against the fixed-rate baseline. ---
@@ -73,7 +69,10 @@ fn main() {
     let common = table.select(worst_snr, 1.0);
     let baseline: Vec<TagAssignment> = tags
         .iter()
-        .map(|t| TagAssignment { rate: common, ..t.clone() })
+        .map(|t| TagAssignment {
+            rate: common,
+            ..t.clone()
+        })
         .collect();
     let tp_adapt = mean_throughput(&tags, payload_bits, 1e-3);
     let tp_base = mean_throughput(&baseline, payload_bits, 1e-3);

@@ -68,7 +68,9 @@ fn usage() {
     eprintln!("usage:");
     eprintln!("  retroturbo info");
     eprintln!("  retroturbo link    --distance <m> [--rate 8k] [--roll <deg>] [--yaw <deg>] [--packets <n>] [--bytes <n>] [--seed <s>]");
-    eprintln!("  retroturbo emulate --snr <dB> [--rate 8k] [--packets <n>] [--bytes <n>] [--seed <s>]");
+    eprintln!(
+        "  retroturbo emulate --snr <dB> [--rate 8k] [--packets <n>] [--bytes <n>] [--seed <s>]"
+    );
     eprintln!("  retroturbo range   [--rate 8k]");
 }
 

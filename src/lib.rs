@@ -30,22 +30,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// DSP substrate: complex signals, filters, noise, linear algebra, the
-/// 455 kHz passband chain.
-pub use retroturbo_dsp as dsp;
-/// Polarization optics: Malus's law, the doubled-angle constellation space,
-/// retroreflector geometry.
-pub use retroturbo_optics as optics;
-/// Liquid-crystal modulator model: nonlinear dynamics, pixel banks, panel,
-/// fingerprint emulator.
-pub use retroturbo_lcm as lcm;
 /// Channel coding: GF(256), Reed–Solomon, CRC, scrambler, Gray code,
 /// interleaver.
 pub use retroturbo_coding as coding;
 /// The core PHY: DSM + PQAM modulation, preamble correction, channel
 /// training, the K-branch DFE, performance-index analysis.
 pub use retroturbo_core as phy;
+/// DSP substrate: complex signals, filters, noise, linear algebra, the
+/// 455 kHz passband chain.
+pub use retroturbo_dsp as dsp;
+/// Liquid-crystal modulator model: nonlinear dynamics, pixel banks, panel,
+/// fingerprint emulator.
+pub use retroturbo_lcm as lcm;
 /// MAC: rate adaptation, ARQ, discovery, TDMA.
 pub use retroturbo_mac as mac;
+/// Polarization optics: Malus's law, the doubled-angle constellation space,
+/// retroreflector geometry.
+pub use retroturbo_optics as optics;
 /// End-to-end simulation and the per-figure experiment drivers.
 pub use retroturbo_sim as sim;

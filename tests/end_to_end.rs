@@ -2,7 +2,7 @@
 
 use retroturbo::coding::{bits_to_bytes, bytes_to_bits};
 use retroturbo::dsp::noise::{sigma_for_snr, NoiseSource};
-use retroturbo::dsp::{C64, Signal};
+use retroturbo::dsp::{Signal, C64};
 use retroturbo::lcm::{Heterogeneity, LcParams, Panel};
 use retroturbo::mac::{stop_and_wait, CodingChoice};
 use retroturbo::phy::{Modulator, PhyConfig, Receiver};
@@ -108,7 +108,10 @@ fn coded_arq_beats_raw_near_threshold() {
             coded_ok += 1;
         }
     }
-    assert!(raw_fail >= 2, "raw link suspiciously clean: {raw_fail}/6 failed");
+    assert!(
+        raw_fail >= 2,
+        "raw link suspiciously clean: {raw_fail}/6 failed"
+    );
     assert_eq!(coded_ok, 6, "coded ARQ should always get through");
 }
 
