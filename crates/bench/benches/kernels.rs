@@ -8,9 +8,10 @@ use retroturbo_core::perf_index::min_distance;
 use retroturbo_core::training::{OfflineTraining, OnlineTrainer};
 use retroturbo_core::{Equalizer, Modulator, PhyConfig, PreambleDetector, TagModel};
 use retroturbo_dsp::noise::NoiseSource;
-use retroturbo_dsp::Signal;
+use retroturbo_dsp::{Signal, C64};
 use retroturbo_lcm::dynamics::{simulate, LcState};
-use retroturbo_lcm::{FingerprintSet, LcParams};
+use retroturbo_lcm::{FingerprintSet, Heterogeneity, LcParams, Panel, PanelKernel};
+use retroturbo_sim::{LinkBudget, LinkSimulator, Scene};
 
 fn bench_cfg() -> PhyConfig {
     let mut c = PhyConfig::default_8kbps();
@@ -55,6 +56,39 @@ fn render(c: &mut Criterion) {
     g.finish();
 }
 
+fn panel_simulate(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let pristine = Panel::retroturbo(
+        cfg.l_order,
+        cfg.bits_per_module(),
+        LcParams::default(),
+        Heterogeneity::typical(),
+        5,
+    );
+    let m = Modulator::new(cfg);
+    let frame = m.modulate(&(0..512).map(|i| (i * 11) % 3 == 0).collect::<Vec<_>>());
+    let cmds = frame.drive_commands(&cfg);
+    let n = frame.total_slots() * cfg.samples_per_slot();
+    let mut kernel = PanelKernel::from_panel(&pristine);
+    let mut out = vec![C64::default(); n];
+    let mut g = c.benchmark_group("lcm");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("panel_simulate_soa", |b| {
+        b.iter(|| {
+            kernel.restore();
+            kernel.simulate_into(&cmds, cfg.fs, &mut out);
+        })
+    });
+    g.bench_function("panel_simulate_reference", |b| {
+        b.iter_batched(
+            || pristine.clone(),
+            |mut p| p.simulate_reference(&cmds, n, cfg.fs),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn preamble_search(c: &mut Criterion) {
     let cfg = bench_cfg();
     let model = TagModel::nominal(&cfg, &LcParams::default());
@@ -69,6 +103,23 @@ fn preamble_search(c: &mut Criterion) {
     let mut g = c.benchmark_group("phy");
     g.bench_function("preamble_search_500_offsets", |b| {
         b.iter(|| det.detect_in(&sig, 0, 500))
+    });
+    g.bench_function("preamble_search_reference_500_offsets", |b| {
+        b.iter(|| det.detect_in_reference(&sig, 0, 500))
+    });
+    g.finish();
+}
+
+fn packet_pipeline(c: &mut Criterion) {
+    let sim = LinkSimulator::new(bench_cfg(), LinkBudget::fov10(), Scene::default_at(3.0), 9);
+    let mut scratch = sim.make_scratch();
+    let bits: Vec<bool> = (0..256).map(|i| (i * 13) % 5 < 2).collect();
+    let mut g = c.benchmark_group("sim");
+    g.bench_function("run_packet_fused", |b| {
+        b.iter(|| sim.run_packet_with(&mut scratch, &bits, 3))
+    });
+    g.bench_function("run_packet_reference", |b| {
+        b.iter(|| sim.run_packet_reference(&bits, 3))
     });
     g.finish();
 }
@@ -160,6 +211,6 @@ fn reed_solomon(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = lcm_ode, fingerprint_emulation, render, preamble_search, online_training, perf_index_search, dfe, reed_solomon
+    targets = lcm_ode, fingerprint_emulation, render, panel_simulate, preamble_search, online_training, perf_index_search, dfe, reed_solomon, packet_pipeline
 }
 criterion_main!(kernels);

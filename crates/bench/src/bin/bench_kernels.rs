@@ -1,25 +1,33 @@
-//! Machine-readable kernel benchmark: times the three hot kernels optimized
-//! by the perf pass (DFE branch extension, fingerprint emulation error, the
-//! online-training solve) against their retained reference implementations,
-//! plus the parallel sweep runtime at 1 vs N threads, and writes
+//! Machine-readable kernel benchmark: times the optimized hot kernels (DFE
+//! branch extension, fingerprint emulation error, the online-training
+//! solve, the SoA panel ODE, the Gram preamble search, the fused packet
+//! pipeline) against their retained reference implementations, plus the
+//! parallel sweep runtime at 1 vs N threads, and writes
 //! `BENCH_kernels.json` — one record per measurement with
 //! `{kernel, ns_per_iter, threads, speedup}` — to seed the perf trajectory.
 //!
 //! Speedup is reference-ns / optimized-ns for kernel pairs, and
 //! 1-thread-ns / N-thread-ns for the sweep (≈1.0 on a single-core host).
+//!
+//! Before timing, each reference/optimized pair is run once and its outputs
+//! are checksummed; any divergence is reported and the process exits
+//! nonzero, so CI can use this binary as a cheap bit-identity smoke test.
+//! Set `BENCH_KERNELS_QUICK=1` for reduced repetitions (CI smoke mode).
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use retroturbo_bench::banner;
 use retroturbo_core::training::{OfflineTraining, OnlineTrainer};
-use retroturbo_core::{Equalizer, Modulator, PhyConfig, TagModel};
+use retroturbo_core::{Equalizer, Modulator, PhyConfig, PreambleDetector, TagModel};
 use retroturbo_dsp::noise::NoiseSource;
+use retroturbo_dsp::{Signal, C64};
 use retroturbo_lcm::fingerprint::{relative_error, relative_error_with_energy};
-use retroturbo_lcm::{FingerprintSet, LcParams};
+use retroturbo_lcm::{FingerprintSet, Heterogeneity, LcParams, Panel, PanelKernel};
 use retroturbo_runtime::with_threads;
 use retroturbo_sim::experiments::field::fig16a_ber_vs_distance;
 use retroturbo_sim::experiments::Effort;
+use retroturbo_sim::{LinkBudget, LinkSimulator, Scene};
 
 /// Minimum wall time per call, in nanoseconds, over `reps` timed batches of
 /// `iters` calls each. The minimum is the noise floor: scheduler preemption
@@ -73,12 +81,29 @@ struct Record {
     speedup: f64,
 }
 
+/// FNV-1a over the bit patterns of a complex slice — the cross-variant
+/// checksum CI compares to catch reference/optimized divergence.
+fn checksum_c64(xs: &[C64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for z in xs {
+        for b in [z.re.to_bits(), z.im.to_bits()] {
+            h ^= b;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
 fn main() {
     banner(
         "bench-kernels",
         "hot-kernel before/after timings -> BENCH_kernels.json",
     );
+    // CI smoke mode: fewer repetitions, same pairs and checksums.
+    let quick = std::env::var("BENCH_KERNELS_QUICK").is_ok();
+    let reps = if quick { 3 } else { 9 };
     let mut records: Vec<Record> = Vec::new();
+    let mut diverged: Vec<String> = Vec::new();
 
     // --- DFE: arena traceback vs Rc-clone reference -----------------------
     let cfg = {
@@ -99,7 +124,7 @@ fn main() {
 
     let (dfe_ref, dfe_new) = time_pair_ns(
         3,
-        9,
+        reps,
         || {
             std::hint::black_box(eq.equalize_reference(&wave, &model, &known, frame.payload_slots));
         },
@@ -128,7 +153,7 @@ fn main() {
     let probe = set.emulate_pixel(&drive);
     let (fp_ref, fp_new) = time_pair_ns(
         200,
-        9,
+        reps,
         || {
             std::hint::black_box(relative_error(&probe, &reference_wave));
         },
@@ -166,7 +191,7 @@ fn main() {
     let rx = model.render_levels(&levels);
     let (tr_ref, tr_new) = time_pair_ns(
         3,
-        9,
+        reps,
         || {
             std::hint::black_box(trainer.train_reference(&rx));
         },
@@ -187,12 +212,147 @@ fn main() {
         speedup: tr_ref / tr_new,
     });
 
+    // --- Panel ODE: SoA kernel vs scalar reference loop -------------------
+    // The pipeline's usage pattern on each side: the reference path clones
+    // the pristine panel per packet; the SoA path restores a snapshot and
+    // renders into a caller-provided buffer.
+    let pristine = Panel::retroturbo(
+        cfg.l_order,
+        cfg.bits_per_module(),
+        params,
+        Heterogeneity::typical(),
+        5,
+    );
+    let cmds = frame.drive_commands(&cfg);
+    let n_wave = frame.total_slots() * cfg.samples_per_slot();
+    let mut kernel = PanelKernel::from_panel(&pristine);
+    let mut soa_out = vec![C64::default(); n_wave];
+
+    let ref_wave = pristine
+        .clone()
+        .simulate_reference(&cmds, n_wave, cfg.fs)
+        .into_samples();
+    kernel.restore();
+    kernel.simulate_into(&cmds, cfg.fs, &mut soa_out);
+    if checksum_c64(&ref_wave) != checksum_c64(&soa_out) {
+        diverged.push("panel_simulate".into());
+    }
+
+    let (panel_ref, panel_soa) = time_pair_ns(
+        if quick { 1 } else { 3 },
+        reps,
+        || {
+            let mut p = pristine.clone();
+            std::hint::black_box(p.simulate_reference(&cmds, n_wave, cfg.fs));
+        },
+        || {
+            kernel.restore();
+            kernel.simulate_into(&cmds, cfg.fs, &mut soa_out);
+            std::hint::black_box(&soa_out);
+        },
+    );
+    records.push(Record {
+        kernel: "panel_simulate_reference",
+        ns_per_iter: panel_ref,
+        threads: 1,
+        speedup: 1.0,
+    });
+    records.push(Record {
+        kernel: "panel_simulate_soa",
+        ns_per_iter: panel_soa,
+        threads: 1,
+        speedup: panel_ref / panel_soa,
+    });
+
+    // --- Preamble search: precomputed Gram vs per-offset lstsq ------------
+    let detector = PreambleDetector::new(&cfg, &model);
+    let spt = cfg.samples_per_slot();
+    let rx_sig = Signal::new(wave.clone(), cfg.fs);
+    let search_to = 2 * spt;
+    {
+        let a = detector.detect_in_reference(&rx_sig, 0, search_to);
+        let b = detector.detect_in(&rx_sig, 0, search_to);
+        let same = match (&a, &b) {
+            (Some(x), Some(y)) => x.offset == y.offset && x.score.to_bits() == y.score.to_bits(),
+            (None, None) => true,
+            _ => false,
+        };
+        if !same {
+            diverged.push("preamble_search".into());
+        }
+    }
+    let (pre_ref, pre_gram) = time_pair_ns(
+        if quick { 1 } else { 3 },
+        reps,
+        || {
+            std::hint::black_box(detector.detect_in_reference(&rx_sig, 0, search_to));
+        },
+        || {
+            std::hint::black_box(detector.detect_in(&rx_sig, 0, search_to));
+        },
+    );
+    records.push(Record {
+        kernel: "preamble_search_reference",
+        ns_per_iter: pre_ref,
+        threads: 1,
+        speedup: 1.0,
+    });
+    records.push(Record {
+        kernel: "preamble_search_gram",
+        ns_per_iter: pre_gram,
+        threads: 1,
+        speedup: pre_ref / pre_gram,
+    });
+
+    // --- Packet pipeline: fused allocation-free vs allocating reference ---
+    let sim = LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(3.0), 9);
+    let mut scratch = sim.make_scratch();
+    let pkt_bytes = if quick { 8 } else { 32 };
+    let pkt_bits: Vec<bool> = (0..pkt_bytes * 8).map(|i| (i * 13) % 5 < 2).collect();
+    {
+        // Waveform-level checksum (decode equality follows from it) plus
+        // outcome equality.
+        let fused_sig = sim.synth_rx(&mut scratch, &pkt_bits, 1);
+        let ref_sig = sim.synth_rx_reference(&pkt_bits, 1);
+        if checksum_c64(fused_sig.samples()) != checksum_c64(ref_sig.samples()) {
+            diverged.push("packet_waveform".into());
+        }
+        scratch.give_back(fused_sig.into_samples());
+        let of = sim.run_packet_with(&mut scratch, &pkt_bits, 2);
+        let or = sim.run_packet_reference(&pkt_bits, 2);
+        if (of.bit_errors, of.bits, of.detected) != (or.bit_errors, or.bits, or.detected) {
+            diverged.push("packet_outcome".into());
+        }
+    }
+    let (pkt_ref, pkt_fused) = time_pair_ns(
+        1,
+        reps,
+        || {
+            std::hint::black_box(sim.run_packet_reference(&pkt_bits, 3));
+        },
+        || {
+            std::hint::black_box(sim.run_packet_with(&mut scratch, &pkt_bits, 3));
+        },
+    );
+    records.push(Record {
+        kernel: "run_packet_reference",
+        ns_per_iter: pkt_ref,
+        threads: 1,
+        speedup: 1.0,
+    });
+    records.push(Record {
+        kernel: "run_packet_fused",
+        ns_per_iter: pkt_fused,
+        threads: 1,
+        speedup: pkt_ref / pkt_fused,
+    });
+
     // --- Parallel sweep runtime: fig16a at 1 vs N threads -----------------
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let sweep = |threads: usize| {
-        time_ns(1, 3, || {
+        time_ns(1, if quick { 1 } else { 3 }, || {
             with_threads(threads, || {
                 std::hint::black_box(fig16a_ber_vs_distance(&[4.0, 9.0], Effort::Quick, 7));
             });
@@ -237,4 +397,9 @@ fn main() {
         .expect("write BENCH_kernels.json");
     eprintln!("# wrote {path}");
     print!("{json}");
+
+    if !diverged.is_empty() {
+        eprintln!("# FAIL: reference/optimized checksum divergence: {diverged:?}");
+        std::process::exit(1);
+    }
 }

@@ -19,7 +19,7 @@
 use crate::frame::Modulator;
 use crate::params::PhyConfig;
 use crate::synth::TagModel;
-use retroturbo_dsp::linalg::widely_linear_fit;
+use retroturbo_dsp::linalg::{widely_linear_fit, WidelyLinearFit, WidelyLinearGram};
 use retroturbo_dsp::{Signal, C64};
 
 /// The fitted channel map `X ≈ α·Y + β·Y* + γ` and its inverse, used to
@@ -68,6 +68,10 @@ pub struct PreambleMatch {
 #[derive(Debug, Clone)]
 pub struct PreambleDetector {
     reference: Vec<C64>,
+    /// Precomputed normal-equation factors of the widely-linear design built
+    /// from `reference` — the reference is fixed per detector, so the search
+    /// only computes the X-dependent moments per candidate offset.
+    gram: WidelyLinearGram,
     /// Samples between the frame start and the reference window: the first
     /// L slots of the preamble are the cold-start ramp, whose slow envelope
     /// would dominate the match and smear/bias the timing estimate; the
@@ -94,8 +98,10 @@ impl PreambleDetector {
         let pre = Modulator::preamble_levels(cfg);
         let skip = cfg.l_order * cfg.samples_per_slot();
         let reference = model.render_levels(&pre)[skip..].to_vec();
+        let gram = WidelyLinearGram::new(&reference);
         Self {
             reference,
+            gram,
             skip,
             threshold: 0.92,
         }
@@ -115,14 +121,32 @@ impl PreambleDetector {
     /// match window itself sits `skip` samples later); returns the
     /// correction and the detection score. `None` if the window runs past
     /// the signal or is degenerate (zero variance).
+    ///
+    /// Uses the Gram precomputed in [`Self::new`]; bit-identical to
+    /// [`Self::fit_at_reference`] (differential-tested).
     pub fn fit_at(&self, rx: &Signal, offset: usize) -> Option<PreambleMatch> {
+        self.fit_with(rx, offset, |x| self.gram.fit(x))
+    }
+
+    /// Oracle for [`Self::fit_at`]: re-solves the widely-linear fit from
+    /// scratch at the given offset.
+    pub fn fit_at_reference(&self, rx: &Signal, offset: usize) -> Option<PreambleMatch> {
+        // Regress X on the reference (note argument order: model input is Y).
+        self.fit_with(rx, offset, |x| widely_linear_fit(&self.reference, x))
+    }
+
+    fn fit_with(
+        &self,
+        rx: &Signal,
+        offset: usize,
+        fit_fn: impl Fn(&[C64]) -> WidelyLinearFit,
+    ) -> Option<PreambleMatch> {
         let k = self.reference.len();
         if offset + self.skip + k > rx.len() {
             return None;
         }
         let x = &rx.samples()[offset + self.skip..offset + self.skip + k];
-        // Regress X on the reference (note argument order: model input is Y).
-        let fit = widely_linear_fit(&self.reference, x);
+        let fit = fit_fn(x);
         let mean: C64 = x.iter().copied().sum::<C64>() / k as f64;
         let var: f64 = x.iter().map(|&z| (z - mean).norm_sqr()).sum();
         if var < 1e-300 {
@@ -142,6 +166,27 @@ impl PreambleDetector {
     /// Search `rx` for a *frame start* between sample offsets `[from, to)`.
     /// Returns the best match if its score clears the threshold.
     pub fn detect_in(&self, rx: &Signal, from: usize, to: usize) -> Option<PreambleMatch> {
+        self.detect_with(rx, from, to, |rx, off| self.fit_at(rx, off))
+    }
+
+    /// Oracle for [`Self::detect_in`]: the same scan, re-solving the fit
+    /// from scratch at every offset.
+    pub fn detect_in_reference(
+        &self,
+        rx: &Signal,
+        from: usize,
+        to: usize,
+    ) -> Option<PreambleMatch> {
+        self.detect_with(rx, from, to, |rx, off| self.fit_at_reference(rx, off))
+    }
+
+    fn detect_with(
+        &self,
+        rx: &Signal,
+        from: usize,
+        to: usize,
+        fit_at: impl Fn(&Signal, usize) -> Option<PreambleMatch>,
+    ) -> Option<PreambleMatch> {
         let k = self.reference.len() + self.skip;
         if rx.len() < k {
             return None;
@@ -149,7 +194,7 @@ impl PreambleDetector {
         let to = to.min(rx.len() - k + 1);
         let mut best: Option<PreambleMatch> = None;
         for off in from..to {
-            if let Some(m) = self.fit_at(rx, off) {
+            if let Some(m) = fit_at(rx, off) {
                 if best.as_ref().is_none_or(|b| m.score < b.score) {
                     best = Some(m);
                 }
@@ -317,6 +362,51 @@ mod tests {
         assert!(det.detect_in(&rx, 0, 50).is_none());
         let m = det.detect_in(&rx, 350, 450).unwrap();
         assert_eq!(m.offset, 400);
+    }
+
+    #[test]
+    fn gram_fit_bit_identical_to_reference_fit() {
+        let det = PreambleDetector::new(&cfg(), &model());
+        // Clean, rotated and noisy embeddings; every candidate offset must
+        // agree bit-for-bit between the Gram path and the scratch re-solve.
+        for (rot, sigma, seed) in [(0.0, 0.0, 0u64), (1.1, 0.05, 42), (0.3, 1.0, 11)] {
+            let rx = make_rx(137, rot, 0.8, C64::new(0.1, -0.05), sigma, seed);
+            for off in (0..200).step_by(7) {
+                let slow = det.fit_at_reference(&rx, off);
+                let fast = det.fit_at(&rx, off);
+                match (slow, fast) {
+                    (None, None) => {}
+                    (Some(s), Some(f)) => {
+                        assert_eq!(s.offset, f.offset);
+                        assert_eq!(s.score.to_bits(), f.score.to_bits());
+                        assert_eq!(s.fit.alpha.re.to_bits(), f.fit.alpha.re.to_bits());
+                        assert_eq!(s.fit.alpha.im.to_bits(), f.fit.alpha.im.to_bits());
+                        assert_eq!(s.fit.beta.re.to_bits(), f.fit.beta.re.to_bits());
+                        assert_eq!(s.fit.beta.im.to_bits(), f.fit.beta.im.to_bits());
+                        assert_eq!(s.fit.gamma.re.to_bits(), f.fit.gamma.re.to_bits());
+                        assert_eq!(s.fit.gamma.im.to_bits(), f.fit.gamma.im.to_bits());
+                    }
+                    (s, f) => panic!("fit_at divergence at {off}: {s:?} vs {f:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_search_bit_identical_to_reference_search() {
+        let det = PreambleDetector::new(&cfg(), &model());
+        let rx = make_rx(211, 1.1, 0.8, C64::new(0.1, 0.1), 0.05, 42);
+        let slow = det.detect_in_reference(&rx, 0, rx.len());
+        let fast = det.detect_in(&rx, 0, rx.len());
+        let (s, f) = (slow.expect("reference missed"), fast.expect("gram missed"));
+        assert_eq!(s.offset, f.offset);
+        assert_eq!(s.score.to_bits(), f.score.to_bits());
+        // And on pure noise both must reject.
+        let mut sig = Signal::zeros(2000, cfg().fs);
+        let mut ns = retroturbo_dsp::noise::NoiseSource::new(9);
+        ns.add_awgn(sig.samples_mut(), 1.0);
+        assert!(det.detect_in_reference(&sig, 0, sig.len()).is_none());
+        assert!(det.detect_in(&sig, 0, sig.len()).is_none());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub struct RxResult {
 }
 
 /// The RetroTurbo receiver.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Receiver {
     cfg: PhyConfig,
     modulator: Modulator,
@@ -94,6 +94,52 @@ impl Receiver {
             k_override: None,
             track_block: None,
         }
+    }
+
+    /// Like [`Self::new`], but served from a process-wide cache keyed by
+    /// the exact `(cfg, nominal_params, s)` bits. Receiver construction is
+    /// deterministic and takes ~10 ms (offline-training collection plus the
+    /// preamble Gram), so experiment sweeps that build one simulator per
+    /// scene point pay it once per distinct configuration instead of once
+    /// per point. A cache hit returns a clone, which is indistinguishable
+    /// from fresh construction.
+    pub fn new_cached(cfg: PhyConfig, nominal_params: &LcParams, s: usize) -> Self {
+        use std::sync::{Mutex, OnceLock};
+        type Key = [u64; 14];
+        static CACHE: OnceLock<Mutex<Vec<(Key, Receiver)>>> = OnceLock::new();
+        // Bound the cache so pathological callers (e.g. a parameter sweep
+        // over t_slot) can't grow it without limit.
+        const CAP: usize = 32;
+
+        let key: Key = [
+            cfg.l_order as u64,
+            cfg.pqam_order as u64,
+            cfg.t_slot.to_bits(),
+            cfg.fs.to_bits(),
+            cfg.v_memory as u64,
+            cfg.k_branches as u64,
+            cfg.preamble_slots as u64,
+            cfg.training_rounds as u64,
+            nominal_params.tau_charge.to_bits(),
+            nominal_params.tau_relax.to_bits(),
+            nominal_params.delta.to_bits(),
+            nominal_params.tau_ready_up.to_bits(),
+            nominal_params.tau_ready_down.to_bits(),
+            s as u64,
+        ];
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        if let Some((_, rx)) = cache.lock().unwrap().iter().find(|(k, _)| *k == key) {
+            return rx.clone();
+        }
+        // Build outside the lock: construction is slow and deterministic, so
+        // a racing duplicate build is wasteful but harmless.
+        let built = Self::new(cfg, nominal_params, s);
+        let mut guard = cache.lock().unwrap();
+        if guard.len() >= CAP {
+            guard.remove(0);
+        }
+        guard.push((key, built.clone()));
+        built
     }
 
     /// Override the DFE branch count (Fig. 17a sweep).

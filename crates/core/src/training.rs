@@ -112,7 +112,7 @@ impl OfflineTraining {
 /// the refinement stage's (module, history-key) class tables — is built once
 /// here. [`OnlineTrainer::train`] then only computes `Aᴴ·rx` and one
 /// Gaussian solve per packet.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OnlineTrainer {
     cfg: PhyConfig,
     /// Basis banks materialized for fast slot lookup.
@@ -342,7 +342,7 @@ impl OnlineTrainer {
         // weakly-observed classes stay at the basis-mixture estimate.
         if self.refine {
             let (classes, slot_class) = Self::enumerate_classes(cfg, start, end);
-            Self::refine_core(cfg, rx, start, end, &mut segments, &classes, &slot_class);
+            Self::refine_core_reference(cfg, rx, start, end, &mut segments, &classes, &slot_class);
         }
         self.finish_model(segments)
     }
@@ -399,7 +399,71 @@ impl OnlineTrainer {
     /// window and scale the segments by the fitted δ. The class tables are
     /// rx-independent and supplied by the caller (precomputed in `new`, or
     /// re-enumerated by `train_reference`).
+    ///
+    /// The design matrix is extremely sparse — each window row has exactly
+    /// one active class per module — so the normal equations are accumulated
+    /// directly from the per-slot active classes, never materializing the
+    /// `n_rows × n_classes` matrix the reference builds. Bit-identity with
+    /// [`Self::refine_core_reference`] holds because (a) every accumulator
+    /// receives at most one product per row, and rows are walked in the same
+    /// ascending order as the dense matmul/matvec, and (b) the only terms
+    /// skipped or added relative to the dense path are products with an
+    /// exactly-zero factor, which can never flip an accumulator that is
+    /// `+0.0` or nonzero (and exact cancellation yields `+0.0`, so no
+    /// accumulator is ever `−0.0` when such a term lands).
     fn refine_core(
+        cfg: &PhyConfig,
+        rx: &[C64],
+        start: usize,
+        end: usize,
+        segments: &mut [Vec<Vec<C64>>],
+        classes: &[(usize, usize)],
+        slot_class: &[Vec<usize>],
+    ) {
+        let l = cfg.l_order;
+        let spt = cfg.samples_per_slot();
+        let n_modules = 2 * l;
+        let nc = classes.len();
+        let b = &rx[start * spt..end * spt];
+
+        let mut aha = CMat::zeros(nc, nc);
+        let mut ahb = vec![C64::default(); nc];
+        for g in start..end {
+            let row0 = (g - start) * spt;
+            let sc = &slot_class[g - start];
+            // Gather each module's active class and segment slice once per
+            // slot; drive bits are constant within it.
+            let active: Vec<(usize, &[C64])> = (0..n_modules)
+                .map(|module| {
+                    let phase = module % l;
+                    let tau = (g - phase) % l;
+                    let cidx = sc[module];
+                    let (_, key) = classes[cidx];
+                    (cidx, &segments[module][key][tau * spt..(tau + 1) * spt])
+                })
+                .collect();
+            for t in 0..spt {
+                let br = b[row0 + t];
+                for &(i, seg_i) in &active {
+                    let vi = seg_i[t].conj();
+                    ahb[i] += vi * br;
+                    for &(j, seg_j) in &active {
+                        let p = vi * seg_j[t];
+                        aha[(i, j)] += p;
+                    }
+                }
+            }
+        }
+
+        Self::solve_and_apply(aha, ahb, segments, classes);
+    }
+
+    /// The original dense formulation of the refinement stage: materialize
+    /// the full window × classes design matrix and run the dense normal
+    /// equations. Retained as the differential-testing oracle for the sparse
+    /// [`Self::refine_core`] (exercised through
+    /// [`OnlineTrainer::train_reference`]).
+    fn refine_core_reference(
         cfg: &PhyConfig,
         rx: &[C64],
         start: usize,
@@ -430,11 +494,21 @@ impl OnlineTrainer {
             }
         }
 
-        // Ridge toward δ = 1: solve (AᴴA + λI)δ = Aᴴrx + λ·1.
         let ah = a.h();
-        let mut aha = ah.matmul(&a);
+        let aha = ah.matmul(&a);
         let b = &rx[start * spt..end * spt];
-        let mut ahb = ah.matvec(b);
+        let ahb = ah.matvec(b);
+        Self::solve_and_apply(aha, ahb, segments, classes);
+    }
+
+    /// Shared tail of both refinement paths: ridge toward δ = 1 — solve
+    /// `(AᴴA + λI)δ = Aᴴrx + λ·1` — and scale the segments by the fitted δ.
+    fn solve_and_apply(
+        mut aha: CMat,
+        mut ahb: Vec<C64>,
+        segments: &mut [Vec<Vec<C64>>],
+        classes: &[(usize, usize)],
+    ) {
         let diag_mean: f64 =
             (0..aha.rows()).map(|i| aha[(i, i)].re).sum::<f64>() / aha.rows() as f64;
         let lambda = 0.3 * diag_mean.max(1e-12);

@@ -424,6 +424,86 @@ pub fn widely_linear_fit(x: &[C64], y: &[C64]) -> WidelyLinearFit {
     }
 }
 
+/// Precomputed normal-equation factors of the widely-linear design built
+/// from a *fixed* regressor `x` — for detectors that refit the same
+/// reference against many received windows (the preamble search refits at
+/// every candidate offset).
+///
+/// [`widely_linear_fit`] spends most of its time on quantities that depend
+/// only on `x`: building the n×3 design matrix `A = [x, x*, 1]`, forming
+/// `Aᴴ` and the ridged Gram `AᴴA`. This type computes those once; per call
+/// only the y-dependent moments (`Aᴴy`, the 3×3 solve, the fitted residual)
+/// remain.
+///
+/// **Bit-identity**: [`WidelyLinearGram::fit`] reuses the exact same `CMat`
+/// kernels (`h`, `matmul`, `matvec`, [`gauss_solve_c`]) on the exact same
+/// operands as [`widely_linear_fit`], so the result is bit-for-bit identical
+/// (differential-tested). The window sums are recomputed fresh per call:
+/// a sliding update across consecutive offsets would change the f64
+/// summation order and break bit-identity, so none is attempted.
+#[derive(Debug, Clone)]
+pub struct WidelyLinearGram {
+    a: CMat,
+    ah: CMat,
+    aha_ridged: CMat,
+}
+
+impl WidelyLinearGram {
+    /// Precompute the design, its conjugate transpose and the ridged Gram
+    /// for the fixed regressor `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` has fewer than 3 samples.
+    pub fn new(x: &[C64]) -> Self {
+        assert!(x.len() >= 3, "WidelyLinearGram: need at least 3 samples");
+        let n = x.len();
+        let mut a = CMat::zeros(n, 3);
+        for (i, &xi) in x.iter().enumerate() {
+            a[(i, 0)] = xi;
+            a[(i, 1)] = xi.conj();
+            a[(i, 2)] = C64::real(1.0);
+        }
+        let ah = a.h();
+        let mut aha = ah.matmul(&a);
+        // Same ridge as lstsq_c, applied once at construction.
+        let scale: f64 = (0..aha.rows()).map(|i| aha[(i, i)].re).sum::<f64>() / aha.rows() as f64;
+        let ridge = 1e-12 * scale.max(1e-300);
+        for i in 0..aha.rows() {
+            aha[(i, i)] += C64::real(ridge);
+        }
+        Self {
+            a,
+            ah,
+            aha_ridged: aha,
+        }
+    }
+
+    /// Length of the fixed regressor (and of every `y` passed to
+    /// [`Self::fit`]).
+    pub fn n_samples(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Fit `y ≈ a·x + b·x* + c` against the fixed regressor; bit-identical
+    /// to `widely_linear_fit(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != self.n_samples()`.
+    pub fn fit(&self, y: &[C64]) -> WidelyLinearFit {
+        assert_eq!(y.len(), self.a.rows(), "WidelyLinearGram::fit: length");
+        let ahb = self.ah.matvec(y);
+        let sol = gauss_solve_c(&self.aha_ridged, &ahb).unwrap_or_else(|| vec![C64::default(); 3]);
+        let fitted = self.a.matvec(&sol);
+        let residual = crate::complex::dist_sqr(&fitted, y);
+        WidelyLinearFit {
+            a: sol[0],
+            b: sol[1],
+            c: sol[2],
+            residual,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // One-sided Jacobi SVD (real)
 // ---------------------------------------------------------------------------
@@ -623,6 +703,56 @@ mod tests {
         assert!(fit.b.dist(b) < 1e-8);
         assert!(fit.c.dist(c) < 1e-8);
         assert!(fit.residual < 1e-12);
+    }
+
+    #[test]
+    fn gram_fit_bit_identical_to_widely_linear_fit() {
+        // Across clean, noisy-ish and degenerate regressors, the precomputed
+        // Gram path must reproduce widely_linear_fit to the last bit.
+        let mk_x = |phase: f64, scale: f64| -> Vec<C64> {
+            (0..48)
+                .map(|i| {
+                    C64::new(
+                        scale * (i as f64 * 0.37 + phase).sin(),
+                        scale * (i as f64 * 0.71 - phase).cos(),
+                    )
+                })
+                .collect()
+        };
+        for (phase, scale) in [(0.0, 1.0), (1.3, 0.01), (2.2, 40.0)] {
+            let x = mk_x(phase, scale);
+            let gram = WidelyLinearGram::new(&x);
+            assert_eq!(gram.n_samples(), x.len());
+            for seed in 0..4u64 {
+                let y: Vec<C64> = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &z)| {
+                        let jitter = ((seed as f64 + 1.0) * (i as f64 * 0.13).sin()) * 0.2;
+                        C64::new(0.4, -0.9) * z
+                            + C64::new(0.05, 0.02) * z.conj()
+                            + C64::new(jitter, -jitter)
+                    })
+                    .collect();
+                let slow = widely_linear_fit(&x, &y);
+                let fast = gram.fit(&y);
+                assert_eq!(slow.a.re.to_bits(), fast.a.re.to_bits());
+                assert_eq!(slow.a.im.to_bits(), fast.a.im.to_bits());
+                assert_eq!(slow.b.re.to_bits(), fast.b.re.to_bits());
+                assert_eq!(slow.b.im.to_bits(), fast.b.im.to_bits());
+                assert_eq!(slow.c.re.to_bits(), fast.c.re.to_bits());
+                assert_eq!(slow.c.im.to_bits(), fast.c.im.to_bits());
+                assert_eq!(slow.residual.to_bits(), fast.residual.to_bits());
+            }
+        }
+        // Degenerate regressor (all-equal x): both paths must agree even when
+        // the solve falls back to the zero solution.
+        let x = vec![C64::real(1.0); 8];
+        let y = vec![C64::new(0.5, -0.5); 8];
+        let slow = widely_linear_fit(&x, &y);
+        let fast = WidelyLinearGram::new(&x).fit(&y);
+        assert_eq!(slow.residual.to_bits(), fast.residual.to_bits());
+        assert_eq!(slow.a.re.to_bits(), fast.a.re.to_bits());
     }
 
     #[test]

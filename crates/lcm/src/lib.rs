@@ -15,11 +15,13 @@
 
 pub mod dynamics;
 pub mod fingerprint;
+pub mod kernel;
 pub mod mls;
 pub mod panel;
 pub mod pixel;
 
 pub use dynamics::{LcParams, LcState};
 pub use fingerprint::{EmuPixel, FingerprintSet};
+pub use kernel::PanelKernel;
 pub use panel::{DriveCommand, Heterogeneity, Panel};
 pub use pixel::{LcPixel, PixelBank};

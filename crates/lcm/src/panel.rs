@@ -162,20 +162,44 @@ impl Panel {
     }
 
     /// Simulate the panel for `n_samples` at `fs` Hz under a drive plan.
-    /// Commands must be sorted by sample index (asserted); commands beyond
+    /// Commands should be sorted by sample index; a command whose sample
+    /// index has already passed is applied at the current sample rather than
+    /// silently dropped (see [`Self::simulate_reference`]). Commands beyond
     /// the simulated range are ignored.
     ///
     /// The returned signal holds the panel output *after* each step.
+    ///
+    /// Internally this runs the struct-of-arrays fast kernel
+    /// ([`crate::kernel::PanelKernel`]) and writes the final LC states back
+    /// into the panel; the output and end state are bit-identical to
+    /// [`Self::simulate_reference`] (enforced by differential tests).
     pub fn simulate(&mut self, commands: &[DriveCommand], n_samples: usize, fs: f64) -> Signal {
-        debug_assert!(
-            commands.windows(2).all(|w| w[0].sample <= w[1].sample),
-            "simulate: commands must be sorted by sample"
-        );
+        let mut kernel = crate::kernel::PanelKernel::from_panel(self);
+        let mut out = vec![C64::default(); n_samples];
+        kernel.simulate_into(commands, fs, &mut out);
+        kernel.write_back(self);
+        Signal::new(out, fs)
+    }
+
+    /// The original per-sample scalar simulation loop, retained as the
+    /// differential-testing oracle for the fast kernel.
+    ///
+    /// Commands whose sample index is `<= s` are applied at sample `s`: an
+    /// out-of-order command takes effect (late) at the next simulated sample
+    /// instead of stalling the queue and silently dropping every later
+    /// command, which is what the original `== s` match did for unsorted
+    /// input in release builds.
+    pub fn simulate_reference(
+        &mut self,
+        commands: &[DriveCommand],
+        n_samples: usize,
+        fs: f64,
+    ) -> Signal {
         let dt = 1.0 / fs;
         let mut out = Vec::with_capacity(n_samples);
         let mut ci = 0;
         for s in 0..n_samples {
-            while ci < commands.len() && commands[ci].sample == s {
+            while ci < commands.len() && commands[ci].sample <= s {
                 let c = commands[ci];
                 self.modules[c.module].set_level(c.level);
                 ci += 1;

@@ -136,6 +136,11 @@ impl PixelBank {
     pub fn pixel_mut(&mut self, k: usize) -> &mut LcPixel {
         &mut self.pixels[k]
     }
+
+    /// Immutable view of the weighted pixels (most-significant first).
+    pub fn pixels(&self) -> &[LcPixel] {
+        &self.pixels
+    }
 }
 
 #[cfg(test)]

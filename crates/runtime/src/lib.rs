@@ -111,12 +111,36 @@ where
     R: Send,
     F: Fn(usize, u64, T) -> R + Sync,
 {
+    par_map_seeded_with(run_seed, items, || (), |(), i, seed, item| f(i, seed, item))
+}
+
+/// [`par_map_seeded`] with per-worker scratch state.
+///
+/// `init` runs once on each worker thread (and once on the calling thread
+/// for the sequential path) to build that worker's scratch; `f` receives a
+/// mutable borrow of it alongside the usual `(index, item_seed, item)`.
+/// Because per-item seeds are index-derived and results are collected in
+/// item order, the output remains bit-for-bit independent of the thread
+/// count *provided* `f`'s result does not depend on scratch history — the
+/// intended use is allocation reuse (buffers, arenas, panel state), where
+/// the scratch contents are fully overwritten per item.
+///
+/// Panics in `f` are propagated to the caller (the scope joins all workers
+/// first).
+pub fn par_map_seeded_with<T, R, S, I, F>(run_seed: u64, items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, u64, T) -> R + Sync,
+{
     let n_threads = thread_count();
     if n_threads <= 1 || items.len() <= 1 || in_parallel_region() {
+        let mut scratch = init();
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, derive_seed(run_seed, i as u64), item))
+            .map(|(i, item)| f(&mut scratch, i, derive_seed(run_seed, i as u64), item))
             .collect();
     }
 
@@ -131,6 +155,7 @@ where
     std::thread::scope(|scope| {
         let worker = || {
             IN_PARALLEL_REGION.with(|c| c.set(true));
+            let mut scratch = init();
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n_items {
@@ -141,7 +166,7 @@ where
                     .expect("retroturbo-runtime: work slot poisoned")
                     .take()
                     .expect("retroturbo-runtime: work item claimed twice");
-                let out = f(i, derive_seed(run_seed, i as u64), item);
+                let out = f(&mut scratch, i, derive_seed(run_seed, i as u64), item);
                 *results[i]
                     .lock()
                     .expect("retroturbo-runtime: result slot poisoned") = Some(out);
@@ -213,6 +238,45 @@ mod tests {
             })
         });
         assert_eq!(out, (0..100u32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scratch_map_matches_plain_map_at_any_thread_count() {
+        // The scratch-threading variant must agree with the plain map when
+        // the scratch is used only as a reusable buffer.
+        let items: Vec<u64> = (0..29).collect();
+        let plain = with_threads(1, || {
+            par_map_seeded(9, items.clone(), |i, seed, x| {
+                splitmix64(seed ^ x) ^ i as u64
+            })
+        });
+        for n in [1, 2, 5] {
+            let scratched = with_threads(n, || {
+                par_map_seeded_with(9, items.clone(), Vec::<u64>::new, |buf, i, seed, x| {
+                    buf.clear();
+                    buf.push(splitmix64(seed ^ x));
+                    buf[0] ^ i as u64
+                })
+            });
+            assert_eq!(plain, scratched, "thread count {n} diverged");
+        }
+    }
+
+    #[test]
+    fn scratch_init_runs_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let out = with_threads(3, || {
+            par_map_seeded_with(
+                0,
+                (0..30u32).collect::<Vec<_>>(),
+                || inits.fetch_add(1, Ordering::Relaxed),
+                |_, _, _, x| x,
+            )
+        });
+        assert_eq!(out, (0..30).collect::<Vec<_>>());
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&n), "init ran {n} times");
     }
 
     #[test]

@@ -11,8 +11,12 @@ use crate::scene::Scene;
 use retroturbo_core::{Modulator, PhyConfig, Receiver, RxError};
 use retroturbo_dsp::noise::{sigma_for_snr, NoiseSource};
 use retroturbo_dsp::{Signal, C64};
-use retroturbo_lcm::{Heterogeneity, LcParams, Panel};
+use retroturbo_lcm::{Heterogeneity, LcParams, Panel, PanelKernel};
 use retroturbo_optics::retro::{yaw_pixel_skew, Retroreflector};
+
+/// Leading rest-level samples before the frame (the reader's poll-response
+/// guard interval).
+const PAD: usize = 60;
 
 /// Outcome of one simulated packet.
 #[derive(Debug, Clone, Copy)]
@@ -28,10 +32,31 @@ pub struct PacketOutcome {
 }
 
 impl PacketOutcome {
-    /// Packet BER (1.0 when undetected? no — errors/bits; an undetected
-    /// packet counts all bits as errored by construction in `run_packet`).
+    /// Packet BER: `bit_errors / bits`. An undetected packet has
+    /// `bit_errors == bits` by construction (`run_packet` counts every
+    /// payload bit as errored when the preamble is missed), so its BER is
+    /// 1.0 without any special case here.
     pub fn ber(&self) -> f64 {
         self.bit_errors as f64 / self.bits.max(1) as f64
+    }
+}
+
+/// Per-worker scratch for the allocation-free packet pipeline: the
+/// struct-of-arrays panel kernel (snapshot/restore replaces the per-packet
+/// panel clone) and the reusable channel buffer the waveform is rendered
+/// straight into.
+#[derive(Debug, Clone)]
+pub struct PacketScratch {
+    kernel: PanelKernel,
+    rx: Vec<C64>,
+}
+
+impl PacketScratch {
+    /// Return a buffer (taken by [`LinkSimulator::synth_rx`] into the
+    /// produced [`Signal`]) so the next packet reuses its capacity.
+    #[doc(hidden)]
+    pub fn give_back(&mut self, buf: Vec<C64>) {
+        self.rx = buf;
     }
 }
 
@@ -47,6 +72,8 @@ pub struct LinkSimulator {
     seed: u64,
     last_offset: Option<usize>,
     last_symbols: Vec<retroturbo_core::PqamSymbol>,
+    /// Lazily-built scratch reused by the single-packet entry points.
+    scratch: Option<PacketScratch>,
 }
 
 impl LinkSimulator {
@@ -80,11 +107,12 @@ impl LinkSimulator {
             scene,
             retro: Retroreflector::default(),
             modulator: Modulator::new(cfg),
-            receiver: Receiver::new(cfg, &params, s),
+            receiver: Receiver::new_cached(cfg, &params, s),
             pristine_panel: panel,
             seed,
             last_offset: None,
             last_symbols: Vec::new(),
+            scratch: None,
         }
     }
 
@@ -110,27 +138,97 @@ impl LinkSimulator {
         self.budget.snr_db(self.scene.distance_m) + 10.0 * yaw_gain.log10()
     }
 
+    /// Build a per-worker scratch for [`Self::run_packet_with`] (the panel
+    /// kernel snapshot plus the reusable channel buffer).
+    pub fn make_scratch(&self) -> PacketScratch {
+        PacketScratch {
+            kernel: PanelKernel::from_panel(&self.pristine_panel),
+            rx: Vec::new(),
+        }
+    }
+
     /// Simulate one packet of `bits` payload bits; `pkt_seed` varies noise
     /// and data across packets.
     pub fn run_packet(&mut self, bits: &[bool], pkt_seed: u64) -> PacketOutcome {
-        let (outcome, offset, symbols) = self.run_packet_core(bits, pkt_seed);
+        let mut scratch = self.scratch.take().unwrap_or_else(|| self.make_scratch());
+        let (outcome, offset, symbols) = self.run_packet_core(&mut scratch, bits, pkt_seed);
+        self.scratch = Some(scratch);
         self.last_offset = offset;
         self.last_symbols = symbols;
         outcome
     }
 
-    /// The shareable packet pipeline: tag ODE → channel → receiver. Takes
-    /// `&self` so [`Self::run_ber`] can fan packets out across worker
-    /// threads; all per-packet state (panel clone, noise stream) is local.
-    fn run_packet_core(
+    /// Simulate one packet using caller-provided scratch — the fused,
+    /// allocation-free pipeline [`Self::run_ber`] fans out across workers.
+    pub fn run_packet_with(
         &self,
+        scratch: &mut PacketScratch,
         bits: &[bool],
         pkt_seed: u64,
-    ) -> (
-        PacketOutcome,
-        Option<usize>,
-        Vec<retroturbo_core::PqamSymbol>,
-    ) {
+    ) -> PacketOutcome {
+        self.run_packet_core(scratch, bits, pkt_seed).0
+    }
+
+    /// The original per-packet pipeline: clone the pristine panel, run the
+    /// scalar reference ODE loop, build the channel waveform in fresh
+    /// allocations. Retained as the differential-testing oracle and the
+    /// "before" side of the packet benchmarks; bit-identical to
+    /// [`Self::run_packet_with`].
+    pub fn run_packet_reference(&self, bits: &[bool], pkt_seed: u64) -> PacketOutcome {
+        let snr_db = self.effective_snr_db();
+        let sig = self.synth_rx_reference(bits, pkt_seed);
+        self.decode(&sig, bits, snr_db).0
+    }
+
+    /// Synthesize one packet's received signal (tag ODE → channel → noise)
+    /// with the fused pipeline: the kernel renders the waveform directly
+    /// into the padded channel buffer, roll rotation and mobility flutter
+    /// are applied in place, and noise is added on top — no allocation when
+    /// `scratch.rx` is already frame-sized.
+    #[doc(hidden)]
+    pub fn synth_rx(&self, scratch: &mut PacketScratch, bits: &[bool], pkt_seed: u64) -> Signal {
+        let cfg = &self.cfg;
+        let spt = cfg.samples_per_slot();
+        let snr_db = self.effective_snr_db();
+
+        let frame = self.modulator.modulate(bits);
+        let cmds = frame.drive_commands(cfg);
+        let n_wave = frame.total_slots() * spt;
+
+        let roll_rot = C64::cis(2.0 * self.scene.orientation.roll);
+        // Normalized amplitude after path loss; absolute scale is arbitrary
+        // post-AGC, but applying a gain exercises the scale correction.
+        let amp = 0.5;
+        let rest = roll_rot * C64::new(-1.0, -1.0) * amp;
+        scratch.rx.resize(PAD + n_wave, C64::default());
+        scratch.rx[..PAD].fill(rest);
+
+        // Tag side: snapshot/restore instead of cloning the pristine panel;
+        // the waveform lands straight in the channel buffer.
+        scratch.kernel.restore();
+        scratch
+            .kernel
+            .simulate_into(&cmds, cfg.fs, &mut scratch.rx[PAD..]);
+
+        // Channel, fused over the same buffer (identical operand order to
+        // the reference's push loop: roll_rot · z · (amp · flutter)).
+        let (flut_amp, flut_rate) = self.scene.mobility.flutter();
+        for (i, z) in scratch.rx[PAD..].iter_mut().enumerate() {
+            let t = i as f64 / cfg.fs;
+            let flutter = 1.0
+                + flut_amp
+                    * (2.0 * std::f64::consts::PI * flut_rate * t + (pkt_seed % 17) as f64).sin();
+            *z = roll_rot * *z * (amp * flutter);
+        }
+        let mut sig = Signal::new(std::mem::take(&mut scratch.rx), cfg.fs);
+        self.add_channel_noise(&mut sig, snr_db, pkt_seed);
+        sig
+    }
+
+    /// Oracle for [`Self::synth_rx`]: the original allocating formulation
+    /// through `Panel::simulate_reference`.
+    #[doc(hidden)]
+    pub fn synth_rx_reference(&self, bits: &[bool], pkt_seed: u64) -> Signal {
         let cfg = &self.cfg;
         let spt = cfg.samples_per_slot();
         let snr_db = self.effective_snr_db();
@@ -139,16 +237,13 @@ impl LinkSimulator {
         let frame = self.modulator.modulate(bits);
         let mut panel = self.pristine_panel.clone();
         let cmds = frame.drive_commands(cfg);
-        let wave = panel.simulate(&cmds, frame.total_slots() * spt, cfg.fs);
+        let wave = panel.simulate_reference(&cmds, frame.total_slots() * spt, cfg.fs);
 
         // --- Channel. ---
         let roll_rot = C64::cis(2.0 * self.scene.orientation.roll);
-        // Normalized amplitude after path loss; absolute scale is arbitrary
-        // post-AGC, but applying a gain exercises the scale correction.
         let amp = 0.5;
-        let pad = 60usize;
         let rest = roll_rot * C64::new(-1.0, -1.0) * amp;
-        let mut samples = vec![rest; pad];
+        let mut samples = vec![rest; PAD];
         let (flut_amp, flut_rate) = self.scene.mobility.flutter();
         for (i, &z) in wave.samples().iter().enumerate() {
             let t = i as f64 / cfg.fs;
@@ -158,22 +253,62 @@ impl LinkSimulator {
             samples.push(roll_rot * z * (amp * flutter));
         }
         let mut sig = Signal::new(samples, cfg.fs);
+        self.add_channel_noise(&mut sig, snr_db, pkt_seed);
+        sig
+    }
+
+    /// Shared noise tail of both synthesis paths.
+    fn add_channel_noise(&self, sig: &mut Signal, snr_db: f64, pkt_seed: u64) {
+        let cfg = &self.cfg;
         if snr_db.is_finite() {
-            let sigma = sigma_for_snr(snr_db, amp).hypot(self.scene.ambient.residual_noise_sigma());
+            let sigma = sigma_for_snr(snr_db, 0.5).hypot(self.scene.ambient.residual_noise_sigma());
             let mut ns =
                 NoiseSource::new(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(pkt_seed));
             ns.add_awgn(sig.samples_mut(), sigma);
         } else {
             // Beyond the retro cutoff: nothing comes back but noise.
             let mut ns = NoiseSource::new(pkt_seed);
-            sig = Signal::zeros(sig.len(), cfg.fs);
+            *sig = Signal::zeros(sig.len(), cfg.fs);
             ns.add_awgn(sig.samples_mut(), 0.05);
         }
+    }
 
-        // --- Reader side: search near the known poll time. ---
+    /// The shareable packet pipeline: tag ODE → channel → receiver. Takes
+    /// `&self` plus explicit scratch so [`Self::run_ber`] can fan packets
+    /// out across worker threads with per-worker buffers.
+    fn run_packet_core(
+        &self,
+        scratch: &mut PacketScratch,
+        bits: &[bool],
+        pkt_seed: u64,
+    ) -> (
+        PacketOutcome,
+        Option<usize>,
+        Vec<retroturbo_core::PqamSymbol>,
+    ) {
+        let snr_db = self.effective_snr_db();
+        let sig = self.synth_rx(scratch, bits, pkt_seed);
+        let out = self.decode(&sig, bits, snr_db);
+        // Hand the channel buffer back to the scratch for the next packet.
+        scratch.rx = sig.into_samples();
+        out
+    }
+
+    /// Reader side: search near the known poll time and score the decode.
+    fn decode(
+        &self,
+        sig: &Signal,
+        bits: &[bool],
+        snr_db: f64,
+    ) -> (
+        PacketOutcome,
+        Option<usize>,
+        Vec<retroturbo_core::PqamSymbol>,
+    ) {
+        let spt = self.cfg.samples_per_slot();
         match self
             .receiver
-            .receive_window(&sig, 0, pad + 2 * spt, bits.len())
+            .receive_window(sig, 0, PAD + 2 * spt, bits.len())
         {
             Ok(r) => {
                 let errs = r.bits.iter().zip(bits).filter(|(a, b)| a != b).count();
@@ -216,29 +351,36 @@ impl LinkSimulator {
         pkt_seed: u64,
     ) -> (Option<usize>, usize, Vec<retroturbo_core::PqamSymbol>) {
         let o = self.run_packet(bits, pkt_seed);
-        (self.last_offset, o.bit_errors, self.last_symbols.clone())
+        (
+            self.last_offset,
+            o.bit_errors,
+            std::mem::take(&mut self.last_symbols),
+        )
     }
 
     /// Run `n_packets` packets of `payload_bytes` random payloads and return
     /// the aggregate BER (the paper's per-point protocol: 30 × 128-byte
     /// packets, §7.1).
     ///
-    /// Packets run in parallel across `RETROTURBO_THREADS` workers. Each
-    /// packet's payload RNG is seeded from `(self.seed + 1, packet index)` and
-    /// its noise stream from the packet index, so the aggregate BER is
-    /// bit-for-bit identical at every thread count.
+    /// Packets run in parallel across `RETROTURBO_THREADS` workers, each
+    /// with its own [`PacketScratch`], so the steady-state packet loop
+    /// performs no per-packet heap allocation. Each packet's payload RNG is
+    /// seeded from `(self.seed + 1, packet index)` and its noise stream from
+    /// the packet index, so the aggregate BER is bit-for-bit identical at
+    /// every thread count.
     pub fn run_ber(&mut self, n_packets: usize, payload_bytes: usize) -> f64 {
         use rand::rngs::StdRng;
         use rand::Rng;
         use rand::SeedableRng;
         let this = &*self;
-        let outcomes = retroturbo_runtime::par_map_seeded(
+        let outcomes = retroturbo_runtime::par_map_seeded_with(
             this.seed.wrapping_add(1),
             (0..n_packets as u64).collect(),
-            |_, bits_seed, p| {
+            || this.make_scratch(),
+            |scratch, _, bits_seed, p| {
                 let mut rng = StdRng::seed_from_u64(bits_seed);
                 let bits: Vec<bool> = (0..payload_bytes * 8).map(|_| rng.gen()).collect();
-                this.run_packet_core(&bits, p).0
+                this.run_packet_core(scratch, &bits, p).0
             },
         );
         let errs: usize = outcomes.iter().map(|o| o.bit_errors).sum();

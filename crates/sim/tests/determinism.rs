@@ -46,3 +46,40 @@ fn fig16a_identical_across_thread_counts() {
     assert_identical(&t1, &t2, "1 vs 2 threads");
     assert_identical(&t1, &t8, "1 vs 8 threads");
 }
+
+/// The allocation-free `run_ber` (per-worker `PacketScratch` through
+/// `par_map_seeded_with`) must stay byte-identical across thread counts:
+/// packet payload and noise seeds derive from (run seed, packet index),
+/// never from which worker claims the packet or which scratch it reuses.
+#[test]
+fn run_ber_identical_across_thread_counts() {
+    use retroturbo_core::PhyConfig;
+    use retroturbo_sim::{LinkBudget, LinkSimulator, Scene};
+
+    let cfg = PhyConfig {
+        l_order: 4,
+        pqam_order: 16,
+        t_slot: 0.5e-3,
+        fs: 40_000.0,
+        v_memory: 3,
+        k_branches: 8,
+        preamble_slots: 12,
+        training_rounds: 6,
+    };
+    let ber_at = |threads: usize| {
+        with_threads(threads, || {
+            let mut sim = LinkSimulator::new(
+                cfg,
+                LinkBudget::fov10(),
+                Scene::default_at(4.0).with_yaw(20.0),
+                42,
+            );
+            sim.run_ber(6, 16)
+        })
+    };
+    let b1 = ber_at(1);
+    let b2 = ber_at(2);
+    let b8 = ber_at(8);
+    assert_eq!(b1.to_bits(), b2.to_bits(), "1 vs 2 threads: {b1} vs {b2}");
+    assert_eq!(b1.to_bits(), b8.to_bits(), "1 vs 8 threads: {b1} vs {b8}");
+}
