@@ -18,6 +18,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use retroturbo_bench::banner;
+use retroturbo_coding::RsCode;
 use retroturbo_core::training::{OfflineTraining, OnlineTrainer};
 use retroturbo_core::{Equalizer, Modulator, PhyConfig, PreambleDetector, TagModel};
 use retroturbo_dsp::noise::NoiseSource;
@@ -27,7 +28,7 @@ use retroturbo_lcm::{FingerprintSet, Heterogeneity, LcParams, Panel, PanelKernel
 use retroturbo_runtime::with_threads;
 use retroturbo_sim::experiments::field::fig16a_ber_vs_distance;
 use retroturbo_sim::experiments::Effort;
-use retroturbo_sim::{LinkBudget, LinkSimulator, Scene};
+use retroturbo_sim::{ImpairmentConfig, LinkBudget, LinkSimulator, Scene};
 
 /// Minimum wall time per call, in nanoseconds, over `reps` timed batches of
 /// `iters` calls each. The minimum is the noise floor: scheduler preemption
@@ -345,6 +346,82 @@ fn main() {
         ns_per_iter: pkt_fused,
         threads: 1,
         speedup: pkt_ref / pkt_fused,
+    });
+
+    // --- RS decode: errors-only vs errors-and-erasures (same damage) ------
+    // Ten damaged symbols, all flagged: both decoders must recover the same
+    // message (a cheap cross-check of the errata path), and the timing pair
+    // shows what the erasure machinery costs per block.
+    let rs = RsCode::new(255, 223);
+    let msg: Vec<u8> = (0..223).map(|i| (i as u8).wrapping_mul(31)).collect();
+    let mut damaged = rs.encode(&msg);
+    let flagged: Vec<usize> = (0..10).map(|k| k * 19).collect();
+    for &p in &flagged {
+        damaged[p] ^= 0xA5;
+    }
+    {
+        let plain = rs.decode(&damaged).expect("errors-only decode");
+        let errata = rs
+            .decode_with_erasures(&damaged, &flagged)
+            .expect("errata decode");
+        if plain.0 != errata.msg || plain.1 + errata.errors_corrected + errata.erasures_filled != 20
+        {
+            diverged.push("rs_errata_decode".into());
+        }
+    }
+    let (rs_plain, rs_errata) = time_pair_ns(
+        if quick { 20 } else { 100 },
+        reps,
+        || {
+            std::hint::black_box(rs.decode(&damaged).unwrap());
+        },
+        || {
+            std::hint::black_box(rs.decode_with_erasures(&damaged, &flagged).unwrap());
+        },
+    );
+    records.push(Record {
+        kernel: "rs_decode_errors_only",
+        ns_per_iter: rs_plain,
+        threads: 1,
+        speedup: 1.0,
+    });
+    records.push(Record {
+        kernel: "rs_decode_errata",
+        ns_per_iter: rs_errata,
+        threads: 1,
+        speedup: rs_plain / rs_errata,
+    });
+
+    // --- Impairment chain: full fault stack over one rendered frame -------
+    let imp = ImpairmentConfig {
+        clock_ppm: 80.0,
+        adc_bits: Some(8),
+        adc_full_scale: 1.5,
+        blockage_duty: 0.05,
+        blockage_len: 150,
+        ramp_end_snr_db: 25.0,
+        ..ImpairmentConfig::none()
+    };
+    let imp_sig = Signal::new(model.render_levels(&frame.levels), cfg.fs);
+    {
+        // Determinism check doubles as the identity check.
+        let (a, _) = imp.apply(&imp_sig, 11);
+        let (b, _) = imp.apply(&imp_sig, 11);
+        let (id, _) = ImpairmentConfig::none().apply(&imp_sig, 11);
+        if checksum_c64(a.samples()) != checksum_c64(b.samples())
+            || checksum_c64(id.samples()) != checksum_c64(imp_sig.samples())
+        {
+            diverged.push("impairment_chain".into());
+        }
+    }
+    let imp_ns = time_ns(if quick { 5 } else { 20 }, reps, || {
+        std::hint::black_box(imp.apply(&imp_sig, 11));
+    });
+    records.push(Record {
+        kernel: "impairment_chain_full",
+        ns_per_iter: imp_ns,
+        threads: 1,
+        speedup: 1.0,
     });
 
     // --- Parallel sweep runtime: fig16a at 1 vs N threads -----------------

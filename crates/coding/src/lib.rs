@@ -19,5 +19,5 @@ pub mod scramble;
 pub use crc::{check_crc16, crc16_ccitt, crc32_ieee, frame_with_crc16};
 pub use gf256::Gf256;
 pub use gray::{bits_to_bytes, bytes_to_bits, from_gray, to_gray};
-pub use rs::{RsCode, RsError};
+pub use rs::{ErasureDecode, RsCode, RsError};
 pub use scramble::Scrambler;

@@ -5,6 +5,11 @@
 //! Chien-search + Forney decoder. Shortened codes (n < 255) are supported
 //! directly — the Fig. 18b coding-gain sweep uses RS(255, 251)-, (255, 223)-
 //! and (255, 127)-class codes on 128-byte packets.
+//!
+//! When the receiver can flag unreliable symbols (blocked or saturated PHY
+//! slots), [`RsCode::decode_with_erasures`] exploits them: `f` erasures plus
+//! `e` unknown errors are corrected whenever `2e + f ≤ n − k`, doubling the
+//! budget for losses the PHY can point at.
 
 use crate::gf256::Gf256;
 
@@ -113,20 +118,10 @@ impl RsCode {
             .collect()
     }
 
-    /// Decode an n-symbol received word in place, returning the corrected
-    /// k-symbol message and the number of symbol errors fixed.
-    ///
-    /// # Panics
-    /// Panics if `recv.len() != n`.
-    pub fn decode(&self, recv: &[u8]) -> Result<(Vec<u8>, usize), RsError> {
-        assert_eq!(recv.len(), self.n, "decode: word must be n symbols");
-        let synd = self.syndromes(recv);
-        if synd.iter().all(|&s| s == 0) {
-            return Ok((recv[..self.k].to_vec(), 0));
-        }
-
-        // Berlekamp–Massey: find the error-locator polynomial Λ (lowest-
-        // degree-first here: Λ[0] = 1).
+    /// Berlekamp–Massey over a syndrome sequence: returns the minimal
+    /// error-locator polynomial Λ, lowest-degree-first (Λ[0] = 1), with
+    /// trailing zero coefficients trimmed.
+    fn berlekamp_massey(&self, synd: &[u8]) -> Vec<u8> {
         let gf = &self.gf;
         let mut lambda = vec![1u8];
         let mut b = vec![1u8];
@@ -173,6 +168,37 @@ impl RsCode {
         while lambda.last() == Some(&0) {
             lambda.pop();
         }
+        lambda
+    }
+
+    /// Evaluate a lowest-degree-first polynomial at `x`.
+    fn eval_lowest_first(&self, poly: &[u8], x: u8) -> u8 {
+        let gf = &self.gf;
+        let mut v = 0u8;
+        let mut xp = 1u8;
+        for &c in poly {
+            v ^= gf.mul(c, xp);
+            xp = gf.mul(xp, x);
+        }
+        v
+    }
+
+    /// Decode an n-symbol received word in place, returning the corrected
+    /// k-symbol message and the number of symbol errors fixed.
+    ///
+    /// # Panics
+    /// Panics if `recv.len() != n`.
+    pub fn decode(&self, recv: &[u8]) -> Result<(Vec<u8>, usize), RsError> {
+        assert_eq!(recv.len(), self.n, "decode: word must be n symbols");
+        let synd = self.syndromes(recv);
+        if synd.iter().all(|&s| s == 0) {
+            return Ok((recv[..self.k].to_vec(), 0));
+        }
+
+        // Berlekamp–Massey: find the error-locator polynomial Λ (lowest-
+        // degree-first here: Λ[0] = 1).
+        let gf = &self.gf;
+        let lambda = self.berlekamp_massey(&synd);
         let nerr = lambda.len() - 1;
         if nerr == 0 || nerr > self.t() {
             return Err(RsError::TooManyErrors);
@@ -253,6 +279,166 @@ impl RsCode {
         }
         Ok((out[..self.k].to_vec(), fixed))
     }
+
+    /// Errors-and-erasures decode: correct a received word given `erasures`,
+    /// the indices into `recv` the demodulator flagged as unreliable.
+    ///
+    /// With `f` erasures and `e` additional (unflagged) errors the decode
+    /// succeeds whenever `2e + f ≤ n − k` — twice the budget of
+    /// [`Self::decode`] for losses the PHY can localize. With an empty
+    /// erasure list this is exactly the errors-only decoder (the test suite
+    /// checks the two differentially).
+    ///
+    /// # Panics
+    /// Panics if `recv.len() != n` or any erasure index is out of range.
+    pub fn decode_with_erasures(
+        &self,
+        recv: &[u8],
+        erasures: &[usize],
+    ) -> Result<ErasureDecode, RsError> {
+        assert_eq!(
+            recv.len(),
+            self.n,
+            "decode_with_erasures: word must be n symbols"
+        );
+        let gf = &self.gf;
+        let two_t = self.parity();
+
+        // Deduplicate and validate the erasure set.
+        let mut erase: Vec<usize> = erasures.to_vec();
+        erase.sort_unstable();
+        erase.dedup();
+        for &idx in &erase {
+            assert!(
+                idx < self.n,
+                "decode_with_erasures: erasure index {idx} out of range"
+            );
+        }
+        let f = erase.len();
+        if f > two_t {
+            return Err(RsError::TooManyErrors);
+        }
+
+        let synd = self.syndromes(recv);
+        if synd.iter().all(|&s| s == 0) {
+            // Already a codeword: the flagged symbols happened to be correct.
+            return Ok(ErasureDecode {
+                msg: recv[..self.k].to_vec(),
+                errors_corrected: 0,
+                erasures_filled: 0,
+            });
+        }
+
+        // Locator root for received index idx: codeword position p = n−1−idx,
+        // X = α^p.
+        let root_of = |idx: usize| gf.alpha_pow((self.n - 1 - idx) as i32);
+
+        // Forney syndromes: fold each erasure root into the syndrome
+        // sequence (T ← T·X + shift), leaving a length-(2t−f) sequence that
+        // depends only on the unflagged errors.
+        let mut fsynd = synd.clone();
+        for &idx in &erase {
+            let x = root_of(idx);
+            for j in 0..fsynd.len() - 1 {
+                fsynd[j] = gf.mul(fsynd[j], x) ^ fsynd[j + 1];
+            }
+        }
+
+        // Berlekamp–Massey on the Forney syndromes finds the locator of the
+        // unflagged errors alone.
+        let lambda = self.berlekamp_massey(&fsynd[..two_t - f]);
+        let e = lambda.len() - 1;
+        if 2 * e + f > two_t {
+            return Err(RsError::TooManyErrors);
+        }
+        if e == 0 && f == 0 {
+            // Nonzero syndromes but nothing located: inconsistent word.
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Errata locator Ψ = Λ·Γ with Γ(x) = Π (1 + X_i·x) over the erasure
+        // roots (convolution is order-agnostic, so `poly_mul` applies to the
+        // lowest-first representation too).
+        let mut psi = lambda;
+        for &idx in &erase {
+            psi = gf.poly_mul(&psi, &[1, root_of(idx)]);
+        }
+
+        // Chien search for all errata positions: roots of Ψ(X⁻¹). The f
+        // erasure positions are roots by construction; the search must find
+        // exactly deg Ψ = e + f of them or the locator is inconsistent.
+        let mut errata_pos = Vec::with_capacity(e + f);
+        for idx in 0..self.n {
+            let x_inv = gf.alpha_pow(-((self.n - 1 - idx) as i32));
+            if self.eval_lowest_first(&psi, x_inv) == 0 {
+                errata_pos.push(idx);
+            }
+        }
+        if errata_pos.len() != psi.len() - 1 {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Forney magnitudes from Ω = [S·Ψ] mod x^{2t} and the formal
+        // derivative Ψ' (GF(2): odd-degree terms shifted down one degree).
+        let mut omega = vec![0u8; two_t];
+        for (i, &pi) in psi.iter().enumerate() {
+            if pi == 0 {
+                continue;
+            }
+            for (j, &sj) in synd.iter().enumerate() {
+                if i + j < two_t {
+                    omega[i + j] ^= gf.mul(pi, sj);
+                }
+            }
+        }
+        let psi_deriv: Vec<u8> = (0..psi.len().saturating_sub(1))
+            .map(|j| if j % 2 == 0 { psi[j + 1] } else { 0 })
+            .collect();
+
+        let mut out = recv.to_vec();
+        let mut errors_corrected = 0usize;
+        let mut erasures_filled = 0usize;
+        for &idx in &errata_pos {
+            let p = (self.n - 1 - idx) as i32;
+            let x_inv = gf.alpha_pow(-p);
+            let om = self.eval_lowest_first(&omega, x_inv);
+            let ld = self.eval_lowest_first(&psi_deriv, x_inv);
+            if ld == 0 {
+                return Err(RsError::DecodeFailure);
+            }
+            // e = X^{1−fcr} · Ω(X⁻¹) / Ψ'(X⁻¹); with fcr = 0: e = X·Ω/Ψ'.
+            let mag = gf.mul(gf.alpha_pow(p), gf.div(om, ld));
+            out[idx] ^= mag;
+            if erase.binary_search(&idx).is_ok() {
+                if mag != 0 {
+                    erasures_filled += 1;
+                }
+            } else {
+                errors_corrected += 1;
+            }
+        }
+
+        // Verify: corrected word must have zero syndromes.
+        if self.syndromes(&out).iter().any(|&s| s != 0) {
+            return Err(RsError::DecodeFailure);
+        }
+        Ok(ErasureDecode {
+            msg: out[..self.k].to_vec(),
+            errors_corrected,
+            erasures_filled,
+        })
+    }
+}
+
+/// Outcome of [`RsCode::decode_with_erasures`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErasureDecode {
+    /// The corrected k-symbol message.
+    pub msg: Vec<u8>,
+    /// Unflagged symbol errors located and corrected.
+    pub errors_corrected: usize,
+    /// Flagged (erased) symbols whose value actually changed.
+    pub erasures_filled: usize,
 }
 
 #[cfg(test)]
@@ -385,5 +571,179 @@ mod tests {
     #[should_panic(expected = "n − k must be even")]
     fn rejects_odd_parity() {
         let _ = RsCode::new(255, 222);
+    }
+
+    /// Tiny deterministic generator for corruption patterns (no rand dep).
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Pick `count` distinct positions in `0..n` and a nonzero flip value
+    /// for each, from a seed.
+    fn distinct_positions(n: usize, count: usize, seed: u64) -> Vec<(usize, u8)> {
+        let mut out: Vec<(usize, u8)> = Vec::with_capacity(count);
+        let mut s = seed;
+        while out.len() < count {
+            s = mix(s);
+            let pos = (s % n as u64) as usize;
+            if out.iter().any(|&(p, _)| p == pos) {
+                continue;
+            }
+            let flip = ((s >> 32) % 255 + 1) as u8;
+            out.push((pos, flip));
+        }
+        out
+    }
+
+    #[test]
+    fn erasures_alone_reach_full_parity_budget() {
+        // f = n − k erasures (double the errors-only budget) must decode.
+        let rs = RsCode::new(255, 223);
+        let m = msg(223);
+        let mut cw = rs.encode(&m);
+        let faults = distinct_positions(255, 32, 11);
+        let erasures: Vec<usize> = faults.iter().map(|&(p, _)| p).collect();
+        for &(p, v) in &faults {
+            cw[p] ^= v;
+        }
+        let d = rs.decode_with_erasures(&cw, &erasures).unwrap();
+        assert_eq!(d.msg, m);
+        assert_eq!(d.errors_corrected, 0);
+        assert_eq!(d.erasures_filled, 32);
+    }
+
+    #[test]
+    fn errors_and_erasures_across_capability_region() {
+        // Every (e, f) with 2e + f ≤ n − k on a mid-size code must recover.
+        let rs = RsCode::new(63, 45); // 2t = 18
+        let m = msg(45);
+        let cw = rs.encode(&m);
+        for f in 0..=18usize {
+            let e_max = (18 - f) / 2;
+            for e in 0..=e_max {
+                let faults = distinct_positions(63, e + f, (f * 64 + e) as u64);
+                let mut r = cw.clone();
+                for &(p, v) in &faults {
+                    r[p] ^= v;
+                }
+                let erasures: Vec<usize> = faults[..f].iter().map(|&(p, _)| p).collect();
+                let d = rs
+                    .decode_with_erasures(&r, &erasures)
+                    .unwrap_or_else(|err| panic!("e={e} f={f}: {err}"));
+                assert_eq!(d.msg, m, "e={e} f={f}");
+                assert_eq!(d.errors_corrected, e, "e={e} f={f}");
+                assert_eq!(d.erasures_filled, f, "e={e} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn differential_against_errors_only_on_zero_erasures() {
+        // On the f = 0 slice the erasure decoder must agree with `decode`
+        // exactly: same Ok/Err, same message, same corrected count — from
+        // clean words through t errors to far beyond capability.
+        let rs = RsCode::new(63, 45); // t = 9
+        let m = msg(45);
+        let cw = rs.encode(&m);
+        for e in 0..=20usize {
+            for trial in 0..4u64 {
+                let mut r = cw.clone();
+                for (p, v) in distinct_positions(63, e, e as u64 * 131 + trial) {
+                    r[p] ^= v;
+                }
+                let plain = rs.decode(&r);
+                let via_erasure = rs.decode_with_erasures(&r, &[]);
+                match (plain, via_erasure) {
+                    (Ok((msg_a, fixed_a)), Ok(d)) => {
+                        assert_eq!(msg_a, d.msg, "e={e} trial={trial}");
+                        assert_eq!(fixed_a, d.errors_corrected, "e={e} trial={trial}");
+                        assert_eq!(d.erasures_filled, 0);
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "e={e} trial={trial}"),
+                    (a, b) => panic!("e={e} trial={trial}: diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_code_exhaustive_capability() {
+        // RS(15, 11), 2t = 4: every admissible (e, f) over several patterns.
+        let rs = RsCode::new(15, 11);
+        let m = msg(11);
+        let cw = rs.encode(&m);
+        for f in 0..=4usize {
+            for e in 0..=(4 - f) / 2 {
+                for trial in 0..8u64 {
+                    let faults = distinct_positions(15, e + f, trial * 37 + (e * 5 + f) as u64);
+                    let mut r = cw.clone();
+                    for &(p, v) in &faults {
+                        r[p] ^= v;
+                    }
+                    let erasures: Vec<usize> = faults[..f].iter().map(|&(p, _)| p).collect();
+                    let d = rs
+                        .decode_with_erasures(&r, &erasures)
+                        .unwrap_or_else(|err| panic!("e={e} f={f} trial={trial}: {err}"));
+                    assert_eq!(d.msg, m, "e={e} f={f} trial={trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flagged_but_correct_symbols_cost_only_their_slot() {
+        // Erasures pointing at symbols that are in fact correct must not
+        // corrupt the decode, and must not count as filled.
+        let rs = RsCode::new(255, 223);
+        let m = msg(223);
+        let mut cw = rs.encode(&m);
+        cw[40] ^= 0x7E; // one real error
+        let d = rs.decode_with_erasures(&cw, &[3, 99, 200]).unwrap();
+        assert_eq!(d.msg, m);
+        assert_eq!(d.errors_corrected, 1);
+        assert_eq!(d.erasures_filled, 0);
+    }
+
+    #[test]
+    fn beyond_capability_does_not_miscorrect_silently() {
+        let rs = RsCode::new(63, 51); // 2t = 12
+        let m = msg(51);
+        let cw = rs.encode(&m);
+        // 2e + f = 2·5 + 4 = 14 > 12: must fail or still return the truth.
+        let faults = distinct_positions(63, 9, 77);
+        let mut r = cw.clone();
+        for &(p, v) in &faults {
+            r[p] ^= v;
+        }
+        let erasures: Vec<usize> = faults[..4].iter().map(|&(p, _)| p).collect();
+        match rs.decode_with_erasures(&r, &erasures) {
+            Err(_) => {}
+            Ok(d) => assert_eq!(d.msg, m, "silent miscorrection"),
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_rejected() {
+        let rs = RsCode::new(15, 11); // 2t = 4
+        let cw = rs.encode(&msg(11));
+        assert_eq!(
+            rs.decode_with_erasures(&cw, &[0, 1, 2, 3, 4]),
+            Err(RsError::TooManyErrors)
+        );
+    }
+
+    #[test]
+    fn duplicate_erasure_indices_are_deduplicated() {
+        let rs = RsCode::new(15, 11);
+        let m = msg(11);
+        let mut cw = rs.encode(&m);
+        cw[7] ^= 0x21;
+        cw[2] ^= 0x0F;
+        let d = rs.decode_with_erasures(&cw, &[7, 7, 2, 2, 7]).unwrap();
+        assert_eq!(d.msg, m);
+        assert_eq!(d.erasures_filled, 2);
     }
 }

@@ -42,6 +42,11 @@ pub struct RxResult {
     pub symbols: Vec<PqamSymbol>,
     /// Demapped payload bits (truncated to the requested count).
     pub bits: Vec<bool>,
+    /// Per-payload-symbol erasure flags: `true` marks a low-confidence slot
+    /// (blocked or saturated span) whose decision should be treated as an
+    /// erasure by the outer code rather than trusted as a hard bit. Empty
+    /// confidence information decodes to all-`false`.
+    pub erasures: Vec<bool>,
     /// Detected frame start (sample offset into the input signal).
     pub offset: usize,
     /// Preamble detection score at the match (unexplained-variance
@@ -212,12 +217,60 @@ impl Receiver {
         self.decode_at(rx, offset, m, n_bits)
     }
 
+    /// [`Self::receive_at`] with per-sample confidence: `unreliable[i]`
+    /// flags input sample `i` as untrustworthy (ADC rail hit, blockage span,
+    /// interference burst — conditions the front end can observe directly).
+    /// Payload slots where at least a quarter of the samples are flagged are
+    /// reported as erasures in [`RxResult::erasures`], so an outer
+    /// errors-and-erasures code gets locations, not just wrong bits.
+    ///
+    /// `unreliable` may be shorter than the signal; missing entries count as
+    /// reliable.
+    pub fn receive_at_with_quality(
+        &self,
+        rx: &Signal,
+        offset: usize,
+        n_bits: usize,
+        unreliable: &[bool],
+    ) -> Result<RxResult, RxError> {
+        let m = self.detector.fit_at(rx, offset).ok_or(RxError::Truncated)?;
+        self.decode_at_masked(rx, offset, m, n_bits, Some(unreliable))
+    }
+
+    /// [`Self::receive_window`] with per-sample confidence (see
+    /// [`Self::receive_at_with_quality`]).
+    pub fn receive_window_with_quality(
+        &self,
+        rx: &Signal,
+        from: usize,
+        to: usize,
+        n_bits: usize,
+        unreliable: &[bool],
+    ) -> Result<RxResult, RxError> {
+        let m = self
+            .detector
+            .detect_in(rx, from, to)
+            .ok_or(RxError::NoPreamble)?;
+        self.decode_at_masked(rx, m.offset, m, n_bits, Some(unreliable))
+    }
+
     fn decode_at(
         &self,
         rx: &Signal,
         offset: usize,
         m: crate::preamble::PreambleMatch,
         n_bits: usize,
+    ) -> Result<RxResult, RxError> {
+        self.decode_at_masked(rx, offset, m, n_bits, None)
+    }
+
+    fn decode_at_masked(
+        &self,
+        rx: &Signal,
+        offset: usize,
+        m: crate::preamble::PreambleMatch,
+        n_bits: usize,
+        unreliable: Option<&[bool]>,
     ) -> Result<RxResult, RxError> {
         let spt = self.cfg.samples_per_slot();
         let bps = self.cfg.bits_per_symbol();
@@ -247,9 +300,26 @@ impl Receiver {
         known.extend(Modulator::training_levels(&self.cfg));
         let symbols = eq.equalize(&corrected, &model, &known, n_payload);
         let bits = self.modulator.demap(&symbols, n_bits);
+        let erasures = match unreliable {
+            None => vec![false; n_payload],
+            Some(mask) => (0..n_payload)
+                .map(|s| {
+                    let start = offset + (prefix_slots + s) * spt;
+                    let flagged = (start..start + spt)
+                        .filter(|&i| mask.get(i).copied().unwrap_or(false))
+                        .count();
+                    // A quarter-slot outage is enough to corrupt the symbol
+                    // decision; flagging generously is cheap because an
+                    // erasure costs the outer code half of what an
+                    // undetected error does.
+                    4 * flagged >= spt
+                })
+                .collect(),
+        };
         Ok(RxResult {
             symbols,
             bits,
+            erasures,
             offset,
             preamble_residual: m.score,
             channel: m.fit,
@@ -391,5 +461,51 @@ mod tests {
         let rx = Receiver::new(c, &LcParams::default(), 1);
         // 80 bits at 4 b/sym = 20 payload slots + 12 pre + 24 train + 4 tail.
         assert_eq!(rx.frame_slots(80), 60);
+    }
+
+    #[test]
+    fn quality_mask_flags_covered_slots_as_erasures() {
+        let c = cfg();
+        let m = Modulator::new(c);
+        let bits: Vec<bool> = (0..40).map(|i| i % 3 == 0).collect();
+        let frame = m.modulate(&bits);
+        let model = TagModel::nominal(&c, &LcParams::default());
+        let wave = model.render_levels(&frame.levels);
+        let sig = Signal::new(wave, c.fs);
+        let rx = Receiver::new(c, &LcParams::default(), 2);
+
+        let spt = c.samples_per_slot();
+        let prefix = c.preamble_slots + c.training_rounds * c.l_order;
+        let mut mask = vec![false; sig.len()];
+        // Fully cover payload slot 2, half-cover slot 5, an eighth of slot 7.
+        mask[(prefix + 2) * spt..(prefix + 3) * spt].fill(true);
+        mask[(prefix + 5) * spt..(prefix + 5) * spt + spt / 2].fill(true);
+        mask[(prefix + 7) * spt..(prefix + 7) * spt + spt / 8].fill(true);
+        let out = rx
+            .receive_at_with_quality(&sig, 0, bits.len(), &mask)
+            .unwrap();
+        assert_eq!(out.erasures.len(), 10); // 40 bits / 4 per symbol
+        assert!(out.erasures[2], "fully-blocked slot not flagged");
+        assert!(out.erasures[5], "half-blocked slot not flagged");
+        assert!(!out.erasures[7], "an eighth of a slot should not erase it");
+        assert!(!out.erasures[0] && !out.erasures[9]);
+    }
+
+    #[test]
+    fn empty_mask_means_no_erasures_and_matches_plain_receive() {
+        let c = cfg();
+        let m = Modulator::new(c);
+        let bits: Vec<bool> = (0..40).map(|i| i % 2 == 1).collect();
+        let frame = m.modulate(&bits);
+        let model = TagModel::nominal(&c, &LcParams::default());
+        let sig = Signal::new(model.render_levels(&frame.levels), c.fs);
+        let rx = Receiver::new(c, &LcParams::default(), 2);
+        let plain = rx.receive_at(&sig, 0, bits.len()).unwrap();
+        let masked = rx
+            .receive_at_with_quality(&sig, 0, bits.len(), &[])
+            .unwrap();
+        assert_eq!(plain.bits, masked.bits);
+        assert!(plain.erasures.iter().all(|&e| !e));
+        assert!(masked.erasures.iter().all(|&e| !e));
     }
 }

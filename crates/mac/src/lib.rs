@@ -14,7 +14,10 @@ pub mod discovery;
 pub mod rate_table;
 pub mod tdma;
 
-pub use arq::{protect, protected_bits, recover, stop_and_wait, ArqStats, BitPipe};
+pub use arq::{
+    protect, protected_bits, recover, recover_with_quality, stop_and_wait, ArqStats, AttemptInfo,
+    BitPipe, RecoverReport,
+};
 pub use discovery::{discover, DiscoveryOutcome};
 pub use rate_table::{CodingChoice, RateOption, RateTable};
 pub use tdma::{build_superframe, mean_throughput, ScheduledSlot, TagAssignment};

@@ -54,6 +54,12 @@ impl EmulatedLink {
         self.snr_db
     }
 
+    /// Change the SNR mid-exchange (models an ambient-light step or a deep
+    /// fade while an ARQ exchange is in flight).
+    pub fn set_snr_db(&mut self, snr_db: f64) {
+        self.snr_db = snr_db;
+    }
+
     /// The PHY configuration.
     pub fn config(&self) -> &PhyConfig {
         &self.cfg

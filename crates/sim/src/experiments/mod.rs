@@ -13,6 +13,7 @@ pub mod microbench;
 pub mod mobility;
 pub mod multiaccess;
 pub mod network;
+pub mod robustness;
 pub mod thresholds;
 pub mod waveforms;
 

@@ -1,0 +1,220 @@
+//! Robustness sweep: graceful degradation under channel impairments.
+//!
+//! The paper's emulation (§7.3) measures performance against stationary
+//! AWGN only. This driver stresses the link along the four impairment axes
+//! of [`crate::impairments`] — sampling-clock error, ADC resolution, burst
+//! blockage duty, and a mid-frame SNR ramp — one axis at a time with the
+//! others held at zero, and records raw BER, coded frame error rate,
+//! goodput efficiency, and the errors-and-erasures decode margin (flags,
+//! fills, corrections) at every point. The interesting output is the shape:
+//! with erasure flags flowing into the Reed–Solomon decoder, blockage
+//! degrades gracefully (flags turn into fills, frames still deliver) rather
+//! than falling off a cliff.
+//!
+//! Deterministic: points map through `par_map_seeded`, so the result is
+//! byte-identical at any thread count.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use retroturbo_core::PhyConfig;
+use retroturbo_mac::{stop_and_wait, CodingChoice};
+use retroturbo_runtime::{derive_seed, par_map_seeded};
+
+use super::Effort;
+use crate::impairments::{ImpairedLink, ImpairmentConfig};
+
+/// One point of the robustness sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessPoint {
+    /// Which impairment axis was swept (`clock_ppm`, `adc_bits`,
+    /// `blockage_duty`, `ramp_snr_db`).
+    pub axis: &'static str,
+    /// The axis value (ppm, bits, duty fraction, or end-of-frame SNR dB).
+    pub value: f64,
+    /// Raw (uncoded) bit error rate.
+    pub ber: f64,
+    /// Coded frame error rate after ARQ (fraction of payloads undelivered).
+    pub fer: f64,
+    /// Delivered payload bits per PHY bit sent (ARQ efficiency).
+    pub goodput: f64,
+    /// Codeword symbols the PHY flagged unreliable, over all attempts.
+    pub erasures_flagged: usize,
+    /// Erased symbols the RS decoder actually restored.
+    pub erasures_filled: usize,
+    /// Unflagged RS symbol errors corrected.
+    pub symbols_corrected: usize,
+}
+
+/// The PHY used by the sweep: the small 8 kbps-class configuration the
+/// emulation tests use (fast to render, same pipeline as the paper runs).
+fn sweep_phy() -> PhyConfig {
+    PhyConfig {
+        l_order: 4,
+        pqam_order: 16,
+        t_slot: 0.5e-3,
+        fs: 40_000.0,
+        v_memory: 3,
+        k_branches: 8,
+        preamble_slots: 12,
+        training_rounds: 2,
+    }
+}
+
+/// The sweep grid: `(axis, value, config)` with one axis off nominal per
+/// point. Public so the determinism tests and the bench binary agree on the
+/// workload.
+pub fn sweep_points(base: ImpairmentConfig) -> Vec<(&'static str, f64, ImpairmentConfig)> {
+    let mut pts = Vec::new();
+    for ppm in [0.0, 40.0, 80.0, 160.0, 320.0] {
+        let c = ImpairmentConfig {
+            clock_ppm: ppm,
+            ..base
+        };
+        pts.push(("clock_ppm", ppm, c));
+    }
+    for bits in [10u32, 8, 6, 5, 4] {
+        let c = ImpairmentConfig {
+            adc_bits: Some(bits),
+            adc_full_scale: 1.5,
+            ..base
+        };
+        pts.push(("adc_bits", bits as f64, c));
+    }
+    for duty in [0.0, 0.02, 0.05, 0.1, 0.2] {
+        let c = ImpairmentConfig {
+            blockage_duty: duty,
+            blockage_len: 150,
+            ..base
+        };
+        pts.push(("blockage_duty", duty, c));
+    }
+    for ramp in [40.0, 30.0, 25.0, 20.0, 15.0] {
+        let c = ImpairmentConfig {
+            ramp_end_snr_db: ramp,
+            ..base
+        };
+        pts.push(("ramp_snr_db", ramp, c));
+    }
+    pts
+}
+
+/// Run the robustness sweep at base SNR `base_snr_db`. Each point measures
+/// `effort.packets()` uncoded packets (raw BER) and the same number of
+/// coded ARQ exchanges (FER, goodput, decode margin) over fresh
+/// [`ImpairedLink`]s seeded from the point's deterministic item seed.
+pub fn robustness_sweep(base_snr_db: f64, effort: Effort, seed: u64) -> Vec<RobustnessPoint> {
+    sweep_over(
+        sweep_points(ImpairmentConfig::none()),
+        base_snr_db,
+        effort.packets(),
+        effort.payload_bytes(),
+        seed,
+    )
+}
+
+/// The sweep core over an explicit point list: what [`robustness_sweep`]
+/// runs, exposed so the thread-determinism tests can use a reduced grid.
+pub fn sweep_over(
+    points: Vec<(&'static str, f64, ImpairmentConfig)>,
+    base_snr_db: f64,
+    n_pkts: usize,
+    payload_bytes: usize,
+    seed: u64,
+) -> Vec<RobustnessPoint> {
+    let phy = sweep_phy();
+    let coding = CodingChoice { n: 64, k: 32 };
+
+    par_map_seeded(seed, points, move |_, item_seed, (axis, value, imp)| {
+        // Raw BER: uncoded random packets through the impaired link.
+        let mut rng = StdRng::seed_from_u64(derive_seed(item_seed, 0));
+        let mut errs = 0usize;
+        let mut total = 0usize;
+        let mut link = ImpairedLink::new(phy, base_snr_db, imp, derive_seed(item_seed, 1));
+        for _ in 0..n_pkts {
+            let bits: Vec<bool> = (0..payload_bytes * 8).map(|_| rng.gen()).collect();
+            match link.transmit_once(&bits) {
+                Some((out, _)) => errs += out.iter().zip(&bits).filter(|(a, b)| a != b).count(),
+                None => errs += bits.len(),
+            }
+            total += bits.len();
+        }
+        let ber = errs as f64 / total.max(1) as f64;
+
+        // Coded ARQ exchanges: FER, goodput, and the decode margin.
+        let mut delivered = 0usize;
+        let mut payload_bits_delivered = 0usize;
+        let mut phy_bits = 0usize;
+        let mut flagged = 0usize;
+        let mut filled = 0usize;
+        let mut corrected = 0usize;
+        for p in 0..n_pkts {
+            let mut link =
+                ImpairedLink::new(phy, base_snr_db, imp, derive_seed(item_seed, 2 + p as u64));
+            let payload: Vec<u8> = (0..payload_bytes).map(|_| rng.gen()).collect();
+            let s = stop_and_wait(&mut link, &payload, Some(coding), 0x5B, 4);
+            if s.delivered {
+                delivered += 1;
+                payload_bits_delivered += payload_bytes * 8;
+            }
+            phy_bits += s.phy_bits_sent;
+            flagged += s
+                .attempt_info
+                .iter()
+                .map(|a| a.erasures_flagged)
+                .sum::<usize>();
+            filled += s.erasures_filled();
+            corrected += s.symbols_corrected();
+        }
+        RobustnessPoint {
+            axis,
+            value,
+            ber,
+            fer: 1.0 - delivered as f64 / n_pkts.max(1) as f64,
+            goodput: payload_bits_delivered as f64 / phy_bits.max(1) as f64,
+            erasures_flagged: flagged,
+            erasures_filled: filled,
+            symbols_corrected: corrected,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_axes_with_a_clean_anchor() {
+        let pts = sweep_points(ImpairmentConfig::none());
+        assert_eq!(pts.len(), 20);
+        for axis in ["clock_ppm", "adc_bits", "blockage_duty", "ramp_snr_db"] {
+            assert_eq!(pts.iter().filter(|p| p.0 == axis).count(), 5, "{axis}");
+        }
+        // The first clock and blockage points are the unimpaired anchor.
+        assert!(pts[0].2.is_identity());
+    }
+
+    #[test]
+    fn sweep_degrades_along_the_blockage_axis() {
+        let rows = robustness_sweep(30.0, Effort::Quick, 5);
+        assert_eq!(rows.len(), 20);
+        let blockage: Vec<&RobustnessPoint> =
+            rows.iter().filter(|r| r.axis == "blockage_duty").collect();
+        // The clean anchor delivers everything; heavy blockage flags
+        // erasures and costs goodput.
+        assert_eq!(blockage[0].fer, 0.0, "clean anchor lost frames");
+        assert_eq!(blockage[0].erasures_flagged, 0);
+        let heavy = blockage.last().unwrap();
+        assert!(
+            heavy.erasures_flagged > 0,
+            "20% blockage never flagged an erasure"
+        );
+        assert!(heavy.goodput <= blockage[0].goodput + 1e-12);
+        // Every point's counters are self-consistent.
+        for r in &rows {
+            assert!(r.erasures_filled <= r.erasures_flagged);
+            assert!((0.0..=1.0).contains(&r.fer));
+            assert!(r.goodput.is_finite() && r.goodput >= 0.0);
+        }
+    }
+}

@@ -17,6 +17,7 @@ use retroturbo_dsp::carrier::{combine_iq, PassbandChain, PassbandConfig};
 use retroturbo_dsp::noise::NoiseSource;
 use retroturbo_dsp::resample::interpolate;
 use retroturbo_dsp::{Signal, C64};
+use retroturbo_runtime::derive_seed;
 
 /// Ambient light injected at the passband: a DC level plus 100 Hz flicker
 /// (twice the 50 Hz mains), in units of the signal's full scale.
@@ -77,8 +78,15 @@ impl Frontend {
     ///
     /// The polarization measurement is differential (PDR), so each channel's
     /// value in `baseband` spans [−1, 1]; intensity on a photodiode must be
-    /// non-negative, so each channel is mapped to `(1 + v)/2` before the
-    /// carrier and mapped back after recovery.
+    /// non-negative and bounded by the fully-open panel, so each channel is
+    /// mapped to `(1 + v)/2` **clamped to [0, 1]** before the carrier — an
+    /// over-driven input saturates at the front end instead of producing
+    /// negative (or super-unity) light — and mapped back after recovery.
+    ///
+    /// Each channel's receiver noise comes from its own seeded stream
+    /// (derived from `seed` and the channel index), so the two physical
+    /// photodiode pairs are statistically independent and neither channel's
+    /// noise depends on how many draws the other consumed.
     pub fn through(
         &self,
         baseband: &Signal,
@@ -87,17 +95,17 @@ impl Frontend {
         seed: u64,
     ) -> Signal {
         let decim = self.cfg.decimation;
-        let mut noise = NoiseSource::new(seed);
 
         let mut channels = Vec::with_capacity(2);
         for ch in 0..2 {
+            let mut noise = NoiseSource::new(derive_seed(seed, ch as u64));
             // Per-channel non-negative intensity at baseband.
             let intensity: Vec<f64> = baseband
                 .samples()
                 .iter()
                 .map(|z| {
                     let v = if ch == 0 { z.re } else { z.im };
-                    (1.0 + v) / 2.0
+                    ((1.0 + v) / 2.0).clamp(0.0, 1.0)
                 })
                 .collect();
             let up = interpolate(
@@ -180,6 +188,79 @@ mod tests {
             .expect("frame lost in the passband chain");
         let errs = out.bits.iter().zip(&bits).filter(|(a, b)| a != b).count();
         assert_eq!(errs, 0, "{errs} bit errors through the passband path");
+    }
+
+    #[test]
+    fn overdriven_input_saturates_instead_of_going_unphysical() {
+        // A polarization value outside [−1, 1] (over-driven tag, fitting
+        // overshoot) must clip at the photodiode: intensity is bounded by
+        // the fully-open panel. Pre-clamp, v = 2.5 produced intensity 1.75
+        // and the chain returned ≈ 2.5 — light the front end never saw.
+        let fe = Frontend::new(test_cfg());
+        let n = 2000;
+        let over: Vec<C64> = (0..n).map(|_| C64::new(2.5, -3.0)).collect();
+        let out = fe.through(
+            &Signal::new(over, 40_000.0),
+            AmbientInjection::none(),
+            0.0,
+            7,
+        );
+        // Ignore filter edge transients; the steady-state middle must sit at
+        // the saturated rails, not beyond them.
+        // The chain's square-carrier roundtrip carries a few percent of gain
+        // ripple, so allow 1.2 — the unclamped defect returned ≈ 2.5.
+        let mid = &out.samples()[out.len() / 4..3 * out.len() / 4];
+        for z in mid {
+            assert!(
+                z.re.abs() <= 1.2 && z.im.abs() <= 1.2,
+                "unclamped front end leaked {z:?}"
+            );
+        }
+        let mean_re = mid.iter().map(|z| z.re).sum::<f64>() / mid.len() as f64;
+        let mean_im = mid.iter().map(|z| z.im).sum::<f64>() / mid.len() as f64;
+        assert!((mean_re - 1.0).abs() < 0.15, "I rail at {mean_re}");
+        assert!((mean_im + 1.0).abs() < 0.15, "Q rail at {mean_im}");
+    }
+
+    #[test]
+    fn channel_noise_streams_are_independent_per_channel() {
+        // The Q channel's noise must be a pure function of (seed, channel),
+        // not a continuation of whatever the I channel consumed. Reproduce
+        // the Q path by hand with its derived stream and compare exactly.
+        use retroturbo_dsp::resample::interpolate;
+        use retroturbo_runtime::derive_seed;
+        let cfg = test_cfg();
+        let fe = Frontend::new(cfg);
+        let n = 800;
+        let bb: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.11).sin(), 0.4 * (i as f64 * 0.05).cos()))
+            .collect();
+        let bb = Signal::new(bb, 40_000.0);
+        let sigma = 0.3;
+        let out = fe.through(&bb, AmbientInjection::none(), sigma, 21);
+
+        let chain = PassbandChain::new(cfg);
+        let intensity: Vec<f64> = bb
+            .samples()
+            .iter()
+            .map(|z| ((1.0 + z.im) / 2.0).clamp(0.0, 1.0))
+            .collect();
+        let up = interpolate(
+            &Signal::from_real(&intensity, bb.sample_rate()),
+            cfg.decimation,
+        );
+        let mut pass = chain.modulate(&up);
+        let mut noise = NoiseSource::new(derive_seed(21, 1));
+        for z in pass.samples_mut() {
+            z.re += noise.standard_normal() * sigma;
+        }
+        let rec = chain.demodulate(&pass);
+        for (a, b) in out.samples().iter().zip(rec.samples()) {
+            assert!(
+                (a.im - (2.0 * b.re - 1.0)).abs() < 1e-12,
+                "Q channel noise is not an independent per-channel stream"
+            );
+        }
     }
 
     #[test]

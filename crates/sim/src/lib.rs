@@ -13,6 +13,7 @@
 pub mod emulation;
 pub mod experiments;
 pub mod frontend;
+pub mod impairments;
 pub mod link;
 pub mod link_budget;
 pub mod power;
@@ -20,6 +21,7 @@ pub mod scene;
 
 pub use emulation::EmulatedLink;
 pub use frontend::{AmbientInjection, Frontend};
+pub use impairments::{ImpairedLink, ImpairmentConfig, ImpairmentReport};
 pub use link::{LinkSimulator, PacketOutcome};
 pub use link_budget::LinkBudget;
 pub use power::PowerModel;

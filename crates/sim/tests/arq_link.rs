@@ -1,0 +1,144 @@
+//! ARQ over the emulated PHY under a mid-exchange SNR drop.
+//!
+//! The stop-and-wait MAC must ride out a deep fade that hits while an
+//! exchange is in flight: the faded attempt fails (or squeaks through on
+//! coding), the SNR recovers, and a retry delivers. This is the
+//! graceful-degradation contract of §4.4 end-to-end — PHY, erasures, RS,
+//! CRC, ARQ — not just the unit pieces.
+
+use retroturbo_core::PhyConfig;
+use retroturbo_mac::{stop_and_wait, ArqStats, BitPipe, CodingChoice};
+use retroturbo_sim::{EmulatedLink, ImpairedLink, ImpairmentConfig};
+
+fn small_cfg() -> PhyConfig {
+    PhyConfig {
+        l_order: 4,
+        pqam_order: 16,
+        t_slot: 0.5e-3,
+        fs: 40_000.0,
+        v_memory: 3,
+        k_branches: 8,
+        preamble_slots: 12,
+        training_rounds: 2,
+    }
+}
+
+/// Wraps a link and injects an SNR step: attempts in `lo_range` run at
+/// `lo_db`, everything else at `hi_db` — a person crossing the beam for a
+/// couple of exchanges.
+struct FadingLink {
+    inner: EmulatedLink,
+    sent: usize,
+    lo_range: std::ops::Range<usize>,
+    hi_db: f64,
+    lo_db: f64,
+}
+
+impl BitPipe for FadingLink {
+    fn transmit(&mut self, bits: &[bool]) -> Option<Vec<bool>> {
+        let snr = if self.lo_range.contains(&self.sent) {
+            self.lo_db
+        } else {
+            self.hi_db
+        };
+        self.inner.set_snr_db(snr);
+        self.sent += 1;
+        self.inner.transmit_once(bits)
+    }
+}
+
+#[test]
+fn arq_rides_out_a_mid_exchange_snr_drop() {
+    // Attempt 0 hits a 6 dB deep fade (hopeless), attempts 1+ are clean:
+    // delivery must come from the retry, not luck.
+    let mut link = FadingLink {
+        inner: EmulatedLink::new(small_cfg(), 30.0, 7),
+        sent: 0,
+        lo_range: 0..1,
+        hi_db: 30.0,
+        lo_db: 6.0,
+    };
+    let payload: Vec<u8> = (0..32).map(|i| (i * 13) as u8).collect();
+    let s: ArqStats = stop_and_wait(
+        &mut link,
+        &payload,
+        Some(CodingChoice { n: 64, k: 48 }),
+        0x5B,
+        8,
+    );
+    assert!(s.delivered, "retry after the fade should deliver: {s:?}");
+    assert!(
+        s.attempts >= 2,
+        "the faded first attempt should have failed (attempts = {})",
+        s.attempts
+    );
+    assert!(!s.attempt_info[0].delivered);
+    assert!(s.attempt_info.last().unwrap().delivered);
+}
+
+#[test]
+fn coding_survives_a_moderate_drop_that_sinks_uncoded() {
+    // A moderate drop (30 → 24 dB) for the whole exchange: raw frames take
+    // scattered symbol errors, RS(64, 32) absorbs them. The uncoded link
+    // needs retries (or fails outright); the coded one does not.
+    let run = |coding: Option<CodingChoice>, seed: u64| {
+        let mut link = FadingLink {
+            inner: EmulatedLink::new(small_cfg(), 30.0, seed),
+            sent: 0,
+            lo_range: 0..usize::MAX,
+            hi_db: 30.0,
+            lo_db: 24.0,
+        };
+        let payload: Vec<u8> = (0..48).map(|i| (i * 29) as u8).collect();
+        stop_and_wait(&mut link, &payload, coding, 0x5B, 6)
+    };
+    let mut coded_attempts = 0usize;
+    let mut uncoded_attempts = 0usize;
+    for seed in 0..4 {
+        let c = run(Some(CodingChoice { n: 64, k: 32 }), seed);
+        assert!(c.delivered, "coded exchange failed at seed {seed}: {c:?}");
+        coded_attempts += c.attempts;
+        let u = run(None, seed);
+        uncoded_attempts += if u.delivered { u.attempts } else { 12 };
+    }
+    assert!(
+        coded_attempts < uncoded_attempts,
+        "coding gain vanished: coded {coded_attempts} vs uncoded {uncoded_attempts}"
+    );
+}
+
+#[test]
+fn blockage_erasures_beat_blind_decoding_through_the_full_stack() {
+    // The same blocked channel, decoded with and without the PHY's
+    // reliability flags: flags may only help. `transmit` (errors-only) vs
+    // `transmit_with_quality` (errors-and-erasures) over identical links.
+    let imp = ImpairmentConfig {
+        blockage_duty: 0.12,
+        blockage_len: 120,
+        ..ImpairmentConfig::none()
+    };
+    let payload: Vec<u8> = (0..40).map(|i| (i * 5) as u8).collect();
+    let coding = Some(CodingChoice { n: 64, k: 32 });
+    let mut with_flags = 0usize;
+    let mut without = 0usize;
+    for seed in 0..6 {
+        let mut a = ImpairedLink::new(small_cfg(), 32.0, imp, seed);
+        let s = stop_and_wait(&mut a, &payload, coding, 0x5B, 6);
+        with_flags += if s.delivered { s.attempts } else { 12 };
+
+        // Same link state sequence, but the quality channel is discarded.
+        struct Blind(ImpairedLink);
+        impl BitPipe for Blind {
+            fn transmit(&mut self, bits: &[bool]) -> Option<Vec<bool>> {
+                self.0.transmit_once(bits).map(|(b, _)| b)
+            }
+        }
+        let mut b = Blind(ImpairedLink::new(small_cfg(), 32.0, imp, seed));
+        let s = stop_and_wait(&mut b, &payload, coding, 0x5B, 6);
+        without += if s.delivered { s.attempts } else { 12 };
+    }
+    assert!(
+        with_flags <= without,
+        "erasure flags made things worse: {with_flags} vs {without} attempts"
+    );
+}

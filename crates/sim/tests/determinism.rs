@@ -47,6 +47,82 @@ fn fig16a_identical_across_thread_counts() {
     assert_identical(&t1, &t8, "1 vs 8 threads");
 }
 
+/// The robustness sweep (impairment chain + ARQ + errors-and-erasures
+/// decode) must also be byte-identical at any thread count: the impairment
+/// seeds derive from (run seed, point index, packet index), never from the
+/// worker that ran the point.
+#[test]
+fn robustness_sweep_identical_across_thread_counts() {
+    use retroturbo_sim::experiments::robustness::{sweep_over, RobustnessPoint};
+    use retroturbo_sim::ImpairmentConfig;
+
+    // A reduced grid touching every impairment stage, 2 packets per point.
+    let grid = || {
+        vec![
+            (
+                "clock_ppm",
+                160.0,
+                ImpairmentConfig {
+                    clock_ppm: 160.0,
+                    ..ImpairmentConfig::none()
+                },
+            ),
+            (
+                "adc_bits",
+                5.0,
+                ImpairmentConfig {
+                    adc_bits: Some(5),
+                    adc_full_scale: 1.5,
+                    ..ImpairmentConfig::none()
+                },
+            ),
+            (
+                "blockage_duty",
+                0.1,
+                ImpairmentConfig {
+                    blockage_duty: 0.1,
+                    blockage_len: 150,
+                    ..ImpairmentConfig::none()
+                },
+            ),
+            (
+                "ramp_snr_db",
+                20.0,
+                ImpairmentConfig {
+                    ramp_end_snr_db: 20.0,
+                    ..ImpairmentConfig::none()
+                },
+            ),
+        ]
+    };
+    let run = |threads: usize| -> Vec<RobustnessPoint> {
+        with_threads(threads, || sweep_over(grid(), 30.0, 2, 24, 7))
+    };
+    let t1 = run(1);
+    let t2 = run(2);
+    let t8 = run(8);
+    for (what, other) in [("1 vs 2", &t2), ("1 vs 8", &t8)] {
+        assert_eq!(t1.len(), other.len(), "{what}: row count");
+        for (p, q) in t1.iter().zip(other) {
+            assert_eq!(p.axis, q.axis, "{what}");
+            assert_eq!(p.ber.to_bits(), q.ber.to_bits(), "{what}: {}", p.axis);
+            assert_eq!(p.fer.to_bits(), q.fer.to_bits(), "{what}: {}", p.axis);
+            assert_eq!(
+                p.goodput.to_bits(),
+                q.goodput.to_bits(),
+                "{what}: {}",
+                p.axis
+            );
+            assert_eq!(
+                (p.erasures_flagged, p.erasures_filled, p.symbols_corrected),
+                (q.erasures_flagged, q.erasures_filled, q.symbols_corrected),
+                "{what}: {} counters",
+                p.axis
+            );
+        }
+    }
+}
+
 /// The allocation-free `run_ber` (per-worker `PacketScratch` through
 /// `par_map_seeded_with`) must stay byte-identical across thread counts:
 /// packet payload and noise seeds derive from (run seed, packet index),

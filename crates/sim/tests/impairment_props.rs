@@ -1,0 +1,101 @@
+//! Property tests for the impairment chain: determinism under a fixed seed
+//! and exact identity at zero strength, over randomized configurations and
+//! waveforms. These are the two contracts the deterministic sweep runtime
+//! and the robustness experiment lean on.
+
+use proptest::prelude::*;
+use retroturbo_dsp::{Signal, C64};
+use retroturbo_sim::ImpairmentConfig;
+
+fn arb_signal(max_len: usize) -> impl Strategy<Value = Signal> {
+    proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 1..max_len).prop_map(|zs| {
+        Signal::new(
+            zs.into_iter().map(|(r, i)| C64::new(r, i)).collect(),
+            40_000.0,
+        )
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = ImpairmentConfig> {
+    (
+        -500.0f64..500.0,          // clock_ppm
+        -4.0f64..4.0,              // clock_offset
+        (any::<bool>(), 4u32..12), // adc enabled? + bits
+        0.0f64..0.5,               // blockage_duty
+        10.0f64..40.0,             // ramp_end_snr_db (finite → ramp on)
+        any::<bool>(),             // ramp enabled?
+    )
+        .prop_map(
+            |(ppm, off, (adc_on, bits), duty, ramp, ramp_on)| ImpairmentConfig {
+                clock_ppm: ppm,
+                clock_offset: off,
+                adc_bits: adc_on.then_some(bits),
+                adc_full_scale: 1.5,
+                blockage_duty: duty,
+                blockage_len: 32,
+                blockage_depth: 0.0,
+                ramp_end_snr_db: if ramp_on { ramp } else { f64::INFINITY },
+                ramp_amplitude: 1.0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_impairment_is_deterministic_under_a_fixed_seed(
+        sig in arb_signal(600),
+        cfg in arb_config(),
+        seed in any::<u64>(),
+    ) {
+        let (wa, ra) = cfg.apply(&sig, seed);
+        let (wb, rb) = cfg.apply(&sig, seed);
+        // Bit-exact, not approximately equal: the sweep runtime's
+        // thread-identity guarantee needs f64 bit patterns to match.
+        prop_assert_eq!(wa.len(), wb.len());
+        for (x, y) in wa.samples().iter().zip(wb.samples()) {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn zero_strength_config_is_the_exact_identity(
+        sig in arb_signal(600),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ImpairmentConfig::none();
+        prop_assert!(cfg.is_identity());
+        let (out, rep) = cfg.apply(&sig, seed);
+        prop_assert_eq!(out.len(), sig.len());
+        for (x, y) in out.samples().iter().zip(sig.samples()) {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        prop_assert!(rep.unreliable.iter().all(|&b| !b));
+        prop_assert_eq!(rep.blocked_samples, 0);
+        prop_assert_eq!(rep.saturated_samples, 0);
+        prop_assert!(!rep.resampled);
+    }
+
+    #[test]
+    fn impaired_output_stays_finite_and_same_shape(
+        sig in arb_signal(400),
+        cfg in arb_config(),
+        seed in any::<u64>(),
+    ) {
+        let (out, rep) = cfg.apply(&sig, seed);
+        prop_assert_eq!(out.len(), sig.len());
+        prop_assert_eq!(out.sample_rate().to_bits(), sig.sample_rate().to_bits());
+        prop_assert_eq!(rep.unreliable.len(), sig.len());
+        for z in out.samples() {
+            prop_assert!(z.re.is_finite() && z.im.is_finite());
+        }
+        prop_assert_eq!(
+            rep.unreliable.iter().filter(|&&b| b).count() == 0,
+            rep.blocked_samples == 0 && rep.saturated_samples == 0
+        );
+    }
+}
