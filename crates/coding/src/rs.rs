@@ -12,6 +12,7 @@
 //! budget for losses the PHY can point at.
 
 use crate::gf256::Gf256;
+use retroturbo_telemetry as telemetry;
 
 /// Errors returned by the decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +190,20 @@ impl RsCode {
     /// # Panics
     /// Panics if `recv.len() != n`.
     pub fn decode(&self, recv: &[u8]) -> Result<(Vec<u8>, usize), RsError> {
+        let r = self.decode_impl(recv);
+        telemetry::counter_inc("rs.decodes");
+        match &r {
+            Ok((_, fixed)) => {
+                telemetry::counter_add("rs.symbols_corrected", *fixed as u64);
+                // Margin: correction budget left after this word.
+                telemetry::observe("rs.decode_margin", (self.t() - fixed) as f64);
+            }
+            Err(_) => telemetry::counter_inc("rs.decode_failures"),
+        }
+        r
+    }
+
+    fn decode_impl(&self, recv: &[u8]) -> Result<(Vec<u8>, usize), RsError> {
         assert_eq!(recv.len(), self.n, "decode: word must be n symbols");
         let synd = self.syndromes(recv);
         if synd.iter().all(|&s| s == 0) {
@@ -292,6 +307,36 @@ impl RsCode {
     /// # Panics
     /// Panics if `recv.len() != n` or any erasure index is out of range.
     pub fn decode_with_erasures(
+        &self,
+        recv: &[u8],
+        erasures: &[usize],
+    ) -> Result<ErasureDecode, RsError> {
+        let r = self.decode_with_erasures_impl(recv, erasures);
+        telemetry::counter_inc("rs.erasure_decodes");
+        match &r {
+            Ok(d) => {
+                telemetry::counter_add("rs.errors_corrected", d.errors_corrected as u64);
+                telemetry::counter_add("rs.erasures_filled", d.erasures_filled as u64);
+                if telemetry::enabled() {
+                    // Errata margin: parity budget left over 2e + f, with f
+                    // the deduplicated flag count (flags consume budget even
+                    // when the symbol turns out correct).
+                    let mut flags: Vec<usize> = erasures.to_vec();
+                    flags.sort_unstable();
+                    flags.dedup();
+                    let spent = 2 * d.errors_corrected + flags.len();
+                    telemetry::observe(
+                        "rs.errata_margin",
+                        self.parity().saturating_sub(spent) as f64,
+                    );
+                }
+            }
+            Err(_) => telemetry::counter_inc("rs.erasure_decode_failures"),
+        }
+        r
+    }
+
+    fn decode_with_erasures_impl(
         &self,
         recv: &[u8],
         erasures: &[usize],

@@ -15,6 +15,7 @@ use crate::constellation::{Constellation, PqamSymbol};
 use crate::params::PhyConfig;
 use crate::synth::{SlotLevels, TagModel};
 use retroturbo_dsp::C64;
+use retroturbo_telemetry as telemetry;
 use std::rc::Rc;
 
 /// Decision trace node (persistent list; branches share prefixes). Used only
@@ -375,6 +376,12 @@ impl Equalizer {
                 best = bi;
             }
         }
+        telemetry::counter_inc("dfe.equalize_calls");
+        telemetry::counter_add("dfe.slots", n_payload as u64);
+        // Accumulated squared prediction error of the winning branch: the
+        // residual the beam could not explain (rate adaptation's raw input).
+        telemetry::observe("dfe.residual", costs[best]);
+        telemetry::observe("dfe.residual_per_slot", costs[best] / n_payload as f64);
         let mut out = Vec::with_capacity(n_payload);
         let mut node = heads[best];
         while node != TRACE_NONE {

@@ -21,6 +21,7 @@ use crate::params::PhyConfig;
 use crate::synth::TagModel;
 use retroturbo_dsp::linalg::{widely_linear_fit, WidelyLinearFit, WidelyLinearGram};
 use retroturbo_dsp::{Signal, C64};
+use retroturbo_telemetry as telemetry;
 
 /// The fitted channel map `X ≈ α·Y + β·Y* + γ` and its inverse, used to
 /// correct received samples back into the reference frame.
@@ -166,7 +167,18 @@ impl PreambleDetector {
     /// Search `rx` for a *frame start* between sample offsets `[from, to)`.
     /// Returns the best match if its score clears the threshold.
     pub fn detect_in(&self, rx: &Signal, from: usize, to: usize) -> Option<PreambleMatch> {
-        self.detect_with(rx, from, to, |rx, off| self.fit_at(rx, off))
+        let m = self.detect_with(rx, from, to, |rx, off| self.fit_at(rx, off));
+        match &m {
+            Some(b) => {
+                telemetry::counter_inc("preamble.detections");
+                telemetry::observe("preamble.score", b.score);
+                // Headroom between the winning score and the acceptance
+                // threshold (scores are residual fractions: lower is better).
+                telemetry::observe("preamble.margin", self.threshold - b.score);
+            }
+            None => telemetry::counter_inc("preamble.misses"),
+        }
+        m
     }
 
     /// Oracle for [`Self::detect_in`]: the same scan, re-solving the fit

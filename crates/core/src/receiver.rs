@@ -14,6 +14,7 @@ use crate::synth::TagModel;
 use crate::training::{OfflineTraining, OnlineTrainer};
 use retroturbo_dsp::Signal;
 use retroturbo_lcm::LcParams;
+use retroturbo_telemetry as telemetry;
 
 /// Receive-side failure modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,7 +185,10 @@ impl Receiver {
     /// Receive a frame of `n_bits` payload bits from a raw signal: search
     /// for the preamble anywhere in the stream, then decode.
     pub fn receive(&self, rx: &Signal, n_bits: usize) -> Result<RxResult, RxError> {
-        let m = self.detector.detect(rx).ok_or(RxError::NoPreamble)?;
+        let m = {
+            let _t = telemetry::span("rx.detect");
+            self.detector.detect(rx).ok_or(RxError::NoPreamble)?
+        };
         self.decode_at(rx, m.offset, m, n_bits)
     }
 
@@ -197,10 +201,12 @@ impl Receiver {
         to: usize,
         n_bits: usize,
     ) -> Result<RxResult, RxError> {
-        let m = self
-            .detector
-            .detect_in(rx, from, to)
-            .ok_or(RxError::NoPreamble)?;
+        let m = {
+            let _t = telemetry::span("rx.detect");
+            self.detector
+                .detect_in(rx, from, to)
+                .ok_or(RxError::NoPreamble)?
+        };
         self.decode_at(rx, m.offset, m, n_bits)
     }
 
@@ -247,10 +253,12 @@ impl Receiver {
         n_bits: usize,
         unreliable: &[bool],
     ) -> Result<RxResult, RxError> {
-        let m = self
-            .detector
-            .detect_in(rx, from, to)
-            .ok_or(RxError::NoPreamble)?;
+        let m = {
+            let _t = telemetry::span("rx.detect");
+            self.detector
+                .detect_in(rx, from, to)
+                .ok_or(RxError::NoPreamble)?
+        };
         self.decode_at_masked(rx, m.offset, m, n_bits, Some(unreliable))
     }
 
@@ -280,9 +288,13 @@ impl Receiver {
         if offset + need > rx.len() {
             return Err(RxError::Truncated);
         }
-        let corrected = correct(&m.fit, &rx.samples()[offset..offset + need]);
+        let corrected = {
+            let _t = telemetry::span("rx.correct");
+            correct(&m.fit, &rx.samples()[offset..offset + need])
+        };
 
         let model = if self.online_training {
+            let _t = telemetry::span("rx.train");
             self.trainer.train(&corrected)
         } else {
             self.nominal.clone()
@@ -298,8 +310,14 @@ impl Receiver {
         // Known prefix levels: preamble + training.
         let mut known = Modulator::preamble_levels(&self.cfg);
         known.extend(Modulator::training_levels(&self.cfg));
-        let symbols = eq.equalize(&corrected, &model, &known, n_payload);
-        let bits = self.modulator.demap(&symbols, n_bits);
+        let symbols = {
+            let _t = telemetry::span("rx.equalize");
+            eq.equalize(&corrected, &model, &known, n_payload)
+        };
+        let bits = {
+            let _t = telemetry::span("rx.demap");
+            self.modulator.demap(&symbols, n_bits)
+        };
         let erasures = match unreliable {
             None => vec![false; n_payload],
             Some(mask) => (0..n_payload)
@@ -316,6 +334,12 @@ impl Receiver {
                 })
                 .collect(),
         };
+        telemetry::counter_inc("rx.frames");
+        telemetry::counter_add("rx.symbols", n_payload as u64);
+        telemetry::counter_add(
+            "rx.slot_erasures",
+            erasures.iter().filter(|&&e| e).count() as u64,
+        );
         Ok(RxResult {
             symbols,
             bits,

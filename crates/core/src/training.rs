@@ -27,6 +27,7 @@ use crate::synth::{ModuleModel, TagModel};
 use retroturbo_dsp::linalg::{gauss_solve_c, jacobi_svd, lstsq_c, CMat, Mat};
 use retroturbo_dsp::C64;
 use retroturbo_lcm::LcParams;
+use retroturbo_telemetry as telemetry;
 
 /// The offline-training product: S orthonormal behaviour bases.
 #[derive(Debug, Clone)]
@@ -290,11 +291,19 @@ impl OnlineTrainer {
 
         let b = &rx[start * spt..end * spt];
         let ahb = self.design_h.matvec(b);
-        let coef =
-            gauss_solve_c(&self.aha_ridged, &ahb).unwrap_or_else(|| vec![C64::default(); n_cols]);
+        let coef = match gauss_solve_c(&self.aha_ridged, &ahb) {
+            Some(c) => c,
+            None => {
+                telemetry::counter_inc("train.singular_fallbacks");
+                vec![C64::default(); n_cols]
+            }
+        };
 
+        telemetry::counter_inc("train.fits");
+        telemetry::counter_add("train.pilot_slots", (end - start) as u64);
         let mut segments = self.materialize_segments(&coef);
         if self.refine {
+            telemetry::counter_add("train.refine_classes", self.classes.len() as u64);
             Self::refine_core(
                 cfg,
                 rx,

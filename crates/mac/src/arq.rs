@@ -8,6 +8,7 @@
 
 use crate::rate_table::CodingChoice;
 use retroturbo_coding::{check_crc16, frame_with_crc16, RsCode, Scrambler};
+use retroturbo_telemetry as telemetry;
 
 /// The abstract physical link the ARQ runs over: one shot of a bit vector
 /// through the channel, returning what the receiver demodulated (always the
@@ -73,6 +74,29 @@ pub struct RecoverReport {
     pub erasures_flagged: usize,
 }
 
+impl RecoverReport {
+    /// Publish this report's decode-margin counters into the telemetry
+    /// registry under `prefix` (e.g. `mac.recover` or
+    /// `robustness.blockage_duty`). No-op without the `telemetry` feature.
+    pub fn publish(&self, prefix: &str) {
+        if !telemetry::enabled() {
+            return;
+        }
+        telemetry::counter_add(
+            &format!("{prefix}.symbols_corrected"),
+            self.symbols_corrected as u64,
+        );
+        telemetry::counter_add(
+            &format!("{prefix}.erasures_filled"),
+            self.erasures_filled as u64,
+        );
+        telemetry::counter_add(
+            &format!("{prefix}.erasures_flagged"),
+            self.erasures_flagged as u64,
+        );
+    }
+}
+
 /// Invert [`protect`]: RS-decode (if coded), descramble, CRC-check.
 /// `payload_len` is the expected payload size in bytes.
 /// Returns `None` if decoding or the CRC fails.
@@ -96,6 +120,24 @@ pub fn recover(
 /// `unreliable` may be shorter than `bits`; missing entries count as
 /// reliable.
 pub fn recover_with_quality(
+    bits: &[bool],
+    unreliable: &[bool],
+    payload_len: usize,
+    coding: Option<CodingChoice>,
+    scramble_seed: u8,
+) -> Option<RecoverReport> {
+    let r = recover_with_quality_impl(bits, unreliable, payload_len, coding, scramble_seed);
+    match &r {
+        Some(rep) => {
+            telemetry::counter_inc("mac.recover.ok");
+            rep.publish("mac.recover");
+        }
+        None => telemetry::counter_inc("mac.recover.fail"),
+    }
+    r
+}
+
+fn recover_with_quality_impl(
     bits: &[bool],
     unreliable: &[bool],
     payload_len: usize,
@@ -212,6 +254,44 @@ impl ArqStats {
     pub fn erasures_filled(&self) -> usize {
         self.attempt_info.iter().map(|a| a.erasures_filled).sum()
     }
+
+    /// Total codeword symbols the PHY flagged across all attempts.
+    pub fn erasures_flagged(&self) -> usize {
+        self.attempt_info.iter().map(|a| a.erasures_flagged).sum()
+    }
+
+    /// Publish this exchange's outcome into the telemetry registry under
+    /// `prefix` (e.g. `arq` or `robustness.clock_ppm`): attempt/delivery
+    /// counters, PHY bits sent, and the aggregated decode margin. No-op
+    /// without the `telemetry` feature.
+    pub fn publish(&self, prefix: &str) {
+        if !telemetry::enabled() {
+            return;
+        }
+        telemetry::counter_inc(&format!("{prefix}.exchanges"));
+        telemetry::counter_add(&format!("{prefix}.attempts"), self.attempts as u64);
+        telemetry::counter_add(&format!("{prefix}.delivered"), self.delivered as u64);
+        telemetry::counter_add(
+            &format!("{prefix}.phy_bits_sent"),
+            self.phy_bits_sent as u64,
+        );
+        telemetry::counter_add(
+            &format!("{prefix}.symbols_corrected"),
+            self.symbols_corrected() as u64,
+        );
+        telemetry::counter_add(
+            &format!("{prefix}.erasures_filled"),
+            self.erasures_filled() as u64,
+        );
+        telemetry::counter_add(
+            &format!("{prefix}.erasures_flagged"),
+            self.erasures_flagged() as u64,
+        );
+        telemetry::observe(
+            &format!("{prefix}.attempts_per_exchange"),
+            self.attempts as f64,
+        );
+    }
 }
 
 /// Run stop-and-wait: retransmit until the CRC passes or `max_attempts` is
@@ -248,6 +328,7 @@ pub fn stop_and_wait<P: BitPipe>(
                     info.delivered = true;
                     stats.delivered = true;
                     stats.attempt_info.push(info);
+                    stats.publish("arq");
                     return stats;
                 }
                 // CRC collision with wrong payload is ~2^-16; treat as
@@ -256,6 +337,7 @@ pub fn stop_and_wait<P: BitPipe>(
         }
         stats.attempt_info.push(info);
     }
+    stats.publish("arq");
     stats
 }
 

@@ -6,6 +6,8 @@
 //! default table below is profiled from this repository's own Fig. 18a/18b
 //! sweeps; `retroturbo-sim` regenerates it.
 
+use retroturbo_telemetry as telemetry;
+
 /// Reed–Solomon coding choice for a rate option.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CodingChoice {
@@ -126,11 +128,23 @@ impl RateTable {
     /// Highest-goodput option usable at `snr_db` (with `margin_db` backoff),
     /// falling back to the most robust option.
     pub fn select(&self, snr_db: f64, margin_db: f64) -> RateOption {
-        self.options
+        let choice = self
+            .options
             .iter()
             .find(|o| snr_db - margin_db >= o.min_snr_db)
             .copied()
-            .unwrap_or_else(|| *self.options.last().unwrap())
+            .unwrap_or_else(|| *self.options.last().unwrap());
+        telemetry::counter_inc("mac.rate_decisions");
+        if telemetry::enabled() {
+            telemetry::counter_inc(&format!("mac.rate.{}", choice.name));
+            telemetry::observe("mac.rate_goodput", choice.goodput());
+            // Margin the decision leaves against the option's threshold.
+            telemetry::observe(
+                "mac.rate_snr_headroom_db",
+                snr_db - margin_db - choice.min_snr_db,
+            );
+        }
+        choice
     }
 
     /// The most robust (lowest-threshold) option — the fixed-rate baseline

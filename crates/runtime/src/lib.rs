@@ -18,10 +18,13 @@
 //! parallel packet loop) run the inner map sequentially on the worker thread,
 //! so thread count never multiplies and inner seeds stay index-derived.
 //!
-//! Zero dependencies; built on `std::thread::scope` and atomics only.
+//! Built on `std::thread::scope` and atomics only; the sole dependency is
+//! the (no-op by default) `retroturbo-telemetry` instrumentation layer,
+//! which reports map/worker throughput when the `telemetry` feature is on.
 
 #![forbid(unsafe_code)]
 
+use retroturbo_telemetry as telemetry;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -135,7 +138,10 @@ where
     F: Fn(&mut S, usize, u64, T) -> R + Sync,
 {
     let n_threads = thread_count();
+    telemetry::counter_inc("runtime.par_maps");
+    telemetry::counter_add("runtime.par_items", items.len() as u64);
     if n_threads <= 1 || items.len() <= 1 || in_parallel_region() {
+        telemetry::gauge_set("runtime.workers", 1.0);
         let mut scratch = init();
         return items
             .into_iter()
@@ -146,6 +152,7 @@ where
 
     let n_items = items.len();
     let n_workers = n_threads.min(n_items);
+    telemetry::gauge_set("runtime.workers", n_workers as f64);
     // Work queue: items behind a mutex of Options, claimed by an atomic
     // cursor. Claiming order varies between runs; result placement does not.
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
@@ -156,6 +163,11 @@ where
         let worker = || {
             IN_PARALLEL_REGION.with(|c| c.set(true));
             let mut scratch = init();
+            // Per-worker throughput, recorded only when telemetry is live
+            // (`enabled()` is const, so the disabled build takes no clock
+            // reads). Wall-clock values never feed back into results.
+            let t0 = telemetry::enabled().then(std::time::Instant::now);
+            let mut n_done = 0u64;
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n_items {
@@ -170,6 +182,13 @@ where
                 *results[i]
                     .lock()
                     .expect("retroturbo-runtime: result slot poisoned") = Some(out);
+                n_done += 1;
+            }
+            if let Some(t0) = t0 {
+                let secs = t0.elapsed().as_secs_f64();
+                if n_done > 0 && secs > 0.0 {
+                    telemetry::gauge_set("runtime.worker_items_per_s", n_done as f64 / secs);
+                }
             }
             IN_PARALLEL_REGION.with(|c| c.set(false));
         };

@@ -20,6 +20,7 @@ use rand::SeedableRng;
 use retroturbo_core::PhyConfig;
 use retroturbo_mac::{stop_and_wait, CodingChoice};
 use retroturbo_runtime::{derive_seed, par_map_seeded};
+use retroturbo_telemetry as telemetry;
 
 use super::Effort;
 use crate::impairments::{ImpairedLink, ImpairmentConfig};
@@ -125,7 +126,7 @@ pub fn sweep_over(
     let phy = sweep_phy();
     let coding = CodingChoice { n: 64, k: 32 };
 
-    par_map_seeded(seed, points, move |_, item_seed, (axis, value, imp)| {
+    let rows = par_map_seeded(seed, points, move |_, item_seed, (axis, value, imp)| {
         // Raw BER: uncoded random packets through the impaired link.
         let mut rng = StdRng::seed_from_u64(derive_seed(item_seed, 0));
         let mut errs = 0usize;
@@ -176,7 +177,28 @@ pub fn sweep_over(
             erasures_filled: filled,
             symbols_corrected: corrected,
         }
-    })
+    });
+
+    // Publish the per-axis telemetry columns *after* the parallel region, by
+    // walking the index-ordered result rows: the merge order into the
+    // registry is the row order, never the worker-completion order. Every
+    // value here derives from the rows themselves (no wall clock), so the
+    // published aggregates are byte-deterministic at any thread count.
+    if telemetry::enabled() {
+        for r in &rows {
+            let p = format!("robustness.{}", r.axis);
+            telemetry::counter_add(&format!("{p}.erasures_flagged"), r.erasures_flagged as u64);
+            telemetry::counter_add(&format!("{p}.erasures_filled"), r.erasures_filled as u64);
+            telemetry::counter_add(
+                &format!("{p}.symbols_corrected"),
+                r.symbols_corrected as u64,
+            );
+            telemetry::gauge_set(&format!("{p}.ber"), r.ber);
+            telemetry::gauge_set(&format!("{p}.fer"), r.fer);
+            telemetry::gauge_set(&format!("{p}.goodput"), r.goodput);
+        }
+    }
+    rows
 }
 
 #[cfg(test)]

@@ -372,6 +372,7 @@ impl LinkSimulator {
         use rand::rngs::StdRng;
         use rand::Rng;
         use rand::SeedableRng;
+        let _t = retroturbo_telemetry::span("sweep.run_ber");
         let this = &*self;
         let outcomes = retroturbo_runtime::par_map_seeded_with(
             this.seed.wrapping_add(1),
@@ -385,6 +386,9 @@ impl LinkSimulator {
         );
         let errs: usize = outcomes.iter().map(|o| o.bit_errors).sum();
         let total: usize = outcomes.iter().map(|o| o.bits).sum();
+        retroturbo_telemetry::counter_add("sweep.packets", n_packets as u64);
+        retroturbo_telemetry::counter_add("sweep.payload_bits", total as u64);
+        retroturbo_telemetry::counter_add("sweep.bit_errors", errs as u64);
         errs as f64 / total.max(1) as f64
     }
 }
