@@ -4,7 +4,12 @@
 //! pipeline) against their retained reference implementations, plus the
 //! parallel sweep runtime at 1 vs N threads, and writes
 //! `BENCH_kernels.json` — one record per measurement with
-//! `{kernel, ns_per_iter, threads, speedup}` — to seed the perf trajectory.
+//! `{kernel, ns_per_iter, ns_per_symbol, threads, speedup}` — to seed the
+//! perf trajectory. `ns_per_symbol` normalizes frame-scaling kernels (DFE,
+//! packet pipeline) by their payload symbol count so trajectories stay
+//! comparable if a PR changes the benchmark workload size; it is `null`
+//! for fixed-size kernels. The full schema contract (consumed by
+//! `tools/perf_smoke.py` in CI) is documented in `crates/bench/README.md`.
 //!
 //! Speedup is reference-ns / optimized-ns for kernel pairs, and
 //! 1-thread-ns / N-thread-ns for the sweep (≈1.0 on a single-core host).
@@ -75,9 +80,15 @@ fn time_pair_ns<A: FnMut(), B: FnMut()>(
     (best_a, best_b)
 }
 
+/// One `BENCH_kernels.json` row; see `crates/bench/README.md` for the
+/// schema contract consumed by `tools/perf_smoke.py`.
 struct Record {
     kernel: &'static str,
     ns_per_iter: f64,
+    /// Per-payload-symbol normalization (`ns_per_iter / symbols`) for
+    /// kernels whose work scales with a frame's payload; `None` (emitted as
+    /// JSON `null`) for fixed-size kernels and sweeps.
+    ns_per_symbol: Option<f64>,
     threads: usize,
     speedup: f64,
 }
@@ -88,6 +99,19 @@ fn checksum_c64(xs: &[C64]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for z in xs {
         for b in [z.re.to_bits(), z.im.to_bits()] {
+            h ^= b;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// FNV-1a over decided PQAM symbols — the DFE pairs must agree on every
+/// decision (costs may differ in the last bits; decisions may not).
+fn checksum_symbols(xs: &[retroturbo_core::PqamSymbol]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in xs {
+        for b in [s.i as u64, s.q as u64] {
             h ^= b;
             h = h.wrapping_mul(0x0100_0000_01b3);
         }
@@ -106,7 +130,7 @@ fn main() {
     let mut records: Vec<Record> = Vec::new();
     let mut diverged: Vec<String> = Vec::new();
 
-    // --- DFE: arena traceback vs Rc-clone reference -----------------------
+    // --- DFE: Gram-factorized scoring vs per-sample Rc-clone reference ----
     let cfg = {
         let mut c = PhyConfig::default_8kbps();
         c.preamble_slots = 24;
@@ -121,30 +145,60 @@ fn main() {
     let mut wave = model.render_levels(&frame.levels);
     NoiseSource::new(2).add_awgn(&mut wave, 0.01);
     let known = frame.levels[..frame.payload_start()].to_vec();
-    let eq = Equalizer::new(cfg).with_branches(16);
+    let payload_syms = frame.payload_slots as f64;
 
-    let (dfe_ref, dfe_new) = time_pair_ns(
-        3,
-        reps,
-        || {
-            std::hint::black_box(eq.equalize_reference(&wave, &model, &known, frame.payload_slots));
-        },
-        || {
-            std::hint::black_box(eq.equalize(&wave, &model, &known, frame.payload_slots));
-        },
-    );
-    records.push(Record {
-        kernel: "dfe_equalize_k16_reference",
-        ns_per_iter: dfe_ref,
-        threads: 1,
-        speedup: 1.0,
-    });
-    records.push(Record {
-        kernel: "dfe_equalize_k16_arena",
-        ns_per_iter: dfe_new,
-        threads: 1,
-        speedup: dfe_ref / dfe_new,
-    });
+    for (k, kernel_ref, kernel_opt, check) in [
+        (
+            16usize,
+            "dfe_equalize_k16_reference",
+            "dfe_equalize_k16_gram",
+            "dfe_decisions_k16",
+        ),
+        (
+            4,
+            "dfe_equalize_k4_reference",
+            "dfe_equalize_k4_gram",
+            "dfe_decisions_k4",
+        ),
+    ] {
+        let eq = Equalizer::new(cfg).with_branches(k);
+        // Decision-identity gate: the factorized path must decide every
+        // payload symbol exactly as the oracle does.
+        let fast = eq.equalize(&wave, &model, &known, frame.payload_slots);
+        let slow = eq.equalize_reference(&wave, &model, &known, frame.payload_slots);
+        if checksum_symbols(&fast) != checksum_symbols(&slow) {
+            diverged.push(check.into());
+        }
+        let (dfe_ref, dfe_new) = time_pair_ns(
+            3,
+            reps,
+            || {
+                std::hint::black_box(eq.equalize_reference(
+                    &wave,
+                    &model,
+                    &known,
+                    frame.payload_slots,
+                ));
+            },
+            || {
+                std::hint::black_box(eq.equalize(&wave, &model, &known, frame.payload_slots));
+            },
+        );
+        records.push(Record {
+            kernel: kernel_ref,
+            ns_per_iter: dfe_ref,
+            ns_per_symbol: Some(dfe_ref / payload_syms),
+            threads: 1,
+            speedup: 1.0,
+        });
+        records.push(Record {
+            kernel: kernel_opt,
+            ns_per_iter: dfe_new,
+            ns_per_symbol: Some(dfe_new / payload_syms),
+            threads: 1,
+            speedup: dfe_ref / dfe_new,
+        });
+    }
 
     // --- Fingerprint emulation error: precomputed vs per-call energy -----
     let set = FingerprintSet::collect(&params, 8, 0.5e-3, 40_000.0);
@@ -169,12 +223,14 @@ fn main() {
     records.push(Record {
         kernel: "fingerprint_relative_error_reference",
         ns_per_iter: fp_ref,
+        ns_per_symbol: None,
         threads: 1,
         speedup: 1.0,
     });
     records.push(Record {
         kernel: "fingerprint_relative_error_precomputed",
         ns_per_iter: fp_new,
+        ns_per_symbol: None,
         threads: 1,
         speedup: fp_ref / fp_new,
     });
@@ -203,12 +259,14 @@ fn main() {
     records.push(Record {
         kernel: "online_training_reference",
         ns_per_iter: tr_ref,
+        ns_per_symbol: None,
         threads: 1,
         speedup: 1.0,
     });
     records.push(Record {
         kernel: "online_training_precomputed",
         ns_per_iter: tr_new,
+        ns_per_symbol: None,
         threads: 1,
         speedup: tr_ref / tr_new,
     });
@@ -255,12 +313,14 @@ fn main() {
     records.push(Record {
         kernel: "panel_simulate_reference",
         ns_per_iter: panel_ref,
+        ns_per_symbol: None,
         threads: 1,
         speedup: 1.0,
     });
     records.push(Record {
         kernel: "panel_simulate_soa",
         ns_per_iter: panel_soa,
+        ns_per_symbol: None,
         threads: 1,
         speedup: panel_ref / panel_soa,
     });
@@ -295,12 +355,14 @@ fn main() {
     records.push(Record {
         kernel: "preamble_search_reference",
         ns_per_iter: pre_ref,
+        ns_per_symbol: None,
         threads: 1,
         speedup: 1.0,
     });
     records.push(Record {
         kernel: "preamble_search_gram",
         ns_per_iter: pre_gram,
+        ns_per_symbol: None,
         threads: 1,
         speedup: pre_ref / pre_gram,
     });
@@ -325,6 +387,7 @@ fn main() {
             diverged.push("packet_outcome".into());
         }
     }
+    let pkt_syms = (pkt_bits.len() / cfg.bits_per_symbol()) as f64;
     let (pkt_ref, pkt_fused) = time_pair_ns(
         1,
         reps,
@@ -338,12 +401,14 @@ fn main() {
     records.push(Record {
         kernel: "run_packet_reference",
         ns_per_iter: pkt_ref,
+        ns_per_symbol: Some(pkt_ref / pkt_syms),
         threads: 1,
         speedup: 1.0,
     });
     records.push(Record {
         kernel: "run_packet_fused",
         ns_per_iter: pkt_fused,
+        ns_per_symbol: Some(pkt_fused / pkt_syms),
         threads: 1,
         speedup: pkt_ref / pkt_fused,
     });
@@ -382,12 +447,14 @@ fn main() {
     records.push(Record {
         kernel: "rs_decode_errors_only",
         ns_per_iter: rs_plain,
+        ns_per_symbol: None,
         threads: 1,
         speedup: 1.0,
     });
     records.push(Record {
         kernel: "rs_decode_errata",
         ns_per_iter: rs_errata,
+        ns_per_symbol: None,
         threads: 1,
         speedup: rs_plain / rs_errata,
     });
@@ -420,6 +487,7 @@ fn main() {
     records.push(Record {
         kernel: "impairment_chain_full",
         ns_per_iter: imp_ns,
+        ns_per_symbol: None,
         threads: 1,
         speedup: 1.0,
     });
@@ -439,6 +507,7 @@ fn main() {
     records.push(Record {
         kernel: "sweep_fig16a_quick",
         ns_per_iter: sweep_1,
+        ns_per_symbol: None,
         threads: 1,
         speedup: 1.0,
     });
@@ -447,6 +516,7 @@ fn main() {
         records.push(Record {
             kernel: "sweep_fig16a_quick",
             ns_per_iter: sweep_n,
+            ns_per_symbol: None,
             threads: n_threads,
             speedup: sweep_1 / sweep_n,
         });
@@ -457,10 +527,15 @@ fn main() {
     // --- Emit ------------------------------------------------------------
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        let per_sym = match r.ns_per_symbol {
+            Some(v) => format!("{v:.1}"),
+            None => "null".into(),
+        };
         json.push_str(&format!(
-            "  {{\"kernel\": \"{}\", \"ns_per_iter\": {:.1}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
+            "  {{\"kernel\": \"{}\", \"ns_per_iter\": {:.1}, \"ns_per_symbol\": {}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
             r.kernel,
             r.ns_per_iter,
+            per_sym,
             r.threads,
             r.speedup,
             if i + 1 < records.len() { "," } else { "" }

@@ -24,7 +24,7 @@ use crate::frame::Modulator;
 use crate::params::PhyConfig;
 use crate::pulse::PulseBank;
 use crate::synth::{ModuleModel, TagModel};
-use retroturbo_dsp::linalg::{gauss_solve_c, jacobi_svd, lstsq_c, CMat, Mat};
+use retroturbo_dsp::linalg::{chol_solve_c, gauss_solve_c, jacobi_svd, lstsq_c, CMat, Mat};
 use retroturbo_dsp::C64;
 use retroturbo_lcm::LcParams;
 use retroturbo_telemetry as telemetry;
@@ -437,30 +437,62 @@ impl OnlineTrainer {
 
         let mut aha = CMat::zeros(nc, nc);
         let mut ahb = vec![C64::default(); nc];
+        let mut active: Vec<(usize, &[C64])> = Vec::with_capacity(n_modules);
         for g in start..end {
             let row0 = (g - start) * spt;
             let sc = &slot_class[g - start];
             // Gather each module's active class and segment slice once per
             // slot; drive bits are constant within it.
-            let active: Vec<(usize, &[C64])> = (0..n_modules)
-                .map(|module| {
-                    let phase = module % l;
-                    let tau = (g - phase) % l;
-                    let cidx = sc[module];
-                    let (_, key) = classes[cidx];
-                    (cidx, &segments[module][key][tau * spt..(tau + 1) * spt])
-                })
-                .collect();
-            for t in 0..spt {
-                let br = b[row0 + t];
-                for &(i, seg_i) in &active {
-                    let vi = seg_i[t].conj();
-                    ahb[i] += vi * br;
-                    for &(j, seg_j) in &active {
-                        let p = vi * seg_j[t];
-                        aha[(i, j)] += p;
-                    }
+            active.clear();
+            active.extend((0..n_modules).map(|module| {
+                let phase = module % l;
+                let tau = (g - phase) % l;
+                let cidx = sc[module];
+                let (_, key) = classes[cidx];
+                (cidx, &segments[module][key][tau * spt..(tau + 1) * spt])
+            }));
+            // Per-pair dot loops with the accumulator hoisted into a
+            // register. Each (i, j) cell is touched by exactly one module
+            // pair per slot (a class belongs to one module, one class per
+            // module per slot), so regrouping the t-walk per pair keeps
+            // every accumulator's addend sequence — rows ascending —
+            // identical to the dense matmul.
+            let bw = &b[row0..row0 + spt];
+            for &(i, seg_i) in &active {
+                let mut acc_b = ahb[i];
+                for (&s, &br) in seg_i.iter().zip(bw) {
+                    acc_b += s.conj() * br;
                 }
+                ahb[i] = acc_b;
+                for &(j, seg_j) in &active {
+                    // A^H·A is Hermitian; accumulate the upper triangle only
+                    // and mirror below after the window (see proof below).
+                    if j < i {
+                        continue;
+                    }
+                    let mut acc = aha[(i, j)];
+                    for (&si, &sj) in seg_i.iter().zip(seg_j) {
+                        acc += si.conj() * sj;
+                    }
+                    aha[(i, j)] = acc;
+                }
+            }
+        }
+        // Mirror: every (j, i) addend is the elementwise conjugate of the
+        // (i, j) addend (real parts share the same products and add order;
+        // imaginary parts are `p ⊖ q` vs `q ⊖ p`, exact negatives under
+        // round-to-nearest except both round to `+0.0` on exact ties), and
+        // negation distributes bit-exactly over the running sum away from
+        // zero crossings, which themselves resolve to `+0.0` on both sides.
+        // So the direct lower-triangle accumulation equals `conj(upper)` in
+        // every bit — except that a final imaginary part of exactly `+0.0`
+        // (never `−0.0`: the accumulator starts at `+0.0` and cancellation
+        // rounds to `+0.0`) must stay `+0.0` rather than flip to `−0.0`.
+        for i in 1..nc {
+            for j in 0..i {
+                let c = aha[(j, i)];
+                let im = if c.im == 0.0 { 0.0 } else { -c.im };
+                aha[(i, j)] = C64::new(c.re, im);
             }
         }
 
@@ -525,7 +557,11 @@ impl OnlineTrainer {
             aha[(i, i)] += C64::real(lambda);
             ahb[i] += C64::real(lambda);
         }
-        let Some(delta) = gauss_solve_c(&aha, &ahb) else {
+        // AᴴA + 0.3·diag-mean·I is Hermitian positive-definite by
+        // construction, so the Cholesky solve (half the arithmetic of
+        // Gaussian elimination) applies; fall back to the pivoted solver on
+        // numerical non-definiteness rather than discarding the refinement.
+        let Some(delta) = chol_solve_c(&aha, &ahb).or_else(|| gauss_solve_c(&aha, &ahb)) else {
             return; // singular: keep the mixture estimate
         };
 

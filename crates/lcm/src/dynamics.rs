@@ -99,17 +99,45 @@ impl LcState {
     }
 }
 
+/// Reciprocal time constants of [`LcParams`], precomputed so the per-sample
+/// integration multiplies instead of divides. Each field is exactly
+/// `1.0 / tau` — a caller that caches an `LcRates` (the SoA panel kernel
+/// does, per pixel) gets bit-identical trajectories to one that rebuilds it
+/// every step, because IEEE division is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LcRates {
+    inv_charge: f64,
+    inv_ready_up: f64,
+    inv_relax: f64,
+    inv_ready_down: f64,
+    delta: f64,
+}
+
+impl LcRates {
+    /// Precompute the reciprocals for `p`.
+    #[inline]
+    pub fn new(p: &LcParams) -> Self {
+        Self {
+            inv_charge: 1.0 / p.tau_charge,
+            inv_ready_up: 1.0 / p.tau_ready_up,
+            inv_relax: 1.0 / p.tau_relax,
+            inv_ready_down: 1.0 / p.tau_ready_down,
+            delta: p.delta,
+        }
+    }
+}
+
 #[inline]
-fn derivs(p: &LcParams, s: LcState, field_on: bool) -> (f64, f64) {
+fn derivs(r: &LcRates, s: LcState, field_on: bool) -> (f64, f64) {
     if field_on {
         (
-            (1.0 - s.x) * s.u / p.tau_charge,
-            (1.0 - s.u) / p.tau_ready_up,
+            (1.0 - s.x) * s.u * r.inv_charge,
+            (1.0 - s.u) * r.inv_ready_up,
         )
     } else {
         (
-            -s.x * (1.0 - s.x + p.delta) / p.tau_relax,
-            -s.u / p.tau_ready_down,
+            -s.x * (1.0 - s.x + r.delta) * r.inv_relax,
+            -s.u * r.inv_ready_down,
         )
     }
 }
@@ -117,12 +145,21 @@ fn derivs(p: &LcParams, s: LcState, field_on: bool) -> (f64, f64) {
 /// Advance the state by `dt` seconds with the drive field on/off (one RK2 /
 /// midpoint step; stable and accurate at the 25 µs steps the simulator uses).
 pub fn step(p: &LcParams, s: LcState, field_on: bool, dt: f64) -> LcState {
-    let (dx1, du1) = derivs(p, s, field_on);
+    step_rates(&LcRates::new(p), s, field_on, dt)
+}
+
+/// [`step`] with the reciprocals precomputed — the division-free hot-path
+/// form used by the SoA panel kernel. `step(p, ..)` is exactly
+/// `step_rates(&LcRates::new(p), ..)`, so the two are interchangeable
+/// bit-for-bit.
+#[inline]
+pub fn step_rates(r: &LcRates, s: LcState, field_on: bool, dt: f64) -> LcState {
+    let (dx1, du1) = derivs(r, s, field_on);
     let mid = LcState {
         x: (s.x + 0.5 * dt * dx1).clamp(0.0, 1.0),
         u: (s.u + 0.5 * dt * du1).clamp(0.0, 1.0),
     };
-    let (dx2, du2) = derivs(p, mid, field_on);
+    let (dx2, du2) = derivs(r, mid, field_on);
     LcState {
         x: (s.x + dt * dx2).clamp(0.0, 1.0),
         u: (s.u + dt * du2).clamp(0.0, 1.0),

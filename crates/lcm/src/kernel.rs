@@ -28,7 +28,7 @@
 //! in module order — the same sequence the reference's `sum::<f64>()` /
 //! `sum::<C64>()` perform. Differential tests (unit + proptest) enforce this.
 
-use crate::dynamics::{step, LcParams, LcState};
+use crate::dynamics::{step_rates, LcRates, LcState};
 use crate::panel::{DriveCommand, Panel};
 use retroturbo_dsp::C64;
 use retroturbo_optics::PolAngle;
@@ -45,7 +45,9 @@ pub struct PanelKernel {
     u: Vec<f64>,
     driven: Vec<bool>,
     weight: Vec<f64>,
-    params: Vec<LcParams>,
+    /// Per-pixel reciprocal time constants: `LcRates::new` of the pixel's
+    /// [`LcParams`], cached once so the per-sample RK2 never divides.
+    rates: Vec<LcRates>,
     // --- construction-time snapshot for restore() ---
     snap_x: Vec<f64>,
     snap_u: Vec<f64>,
@@ -71,7 +73,7 @@ impl PanelKernel {
             u: Vec::new(),
             driven: Vec::new(),
             weight: Vec::new(),
-            params: Vec::new(),
+            rates: Vec::new(),
             snap_x: Vec::new(),
             snap_u: Vec::new(),
             snap_driven: Vec::new(),
@@ -89,7 +91,7 @@ impl PanelKernel {
                 k.u.push(p.state.u);
                 k.driven.push(p.driven);
                 k.weight.push(p.weight);
-                k.params.push(p.params);
+                k.rates.push(LcRates::new(&p.params));
             }
         }
         k.pixel_start.push(k.x.len());
@@ -171,8 +173,8 @@ impl PanelKernel {
             for m in 0..n_modules {
                 let mut acc = 0.0;
                 for p in self.pixel_start[m]..self.pixel_start[m + 1] {
-                    let st = step(
-                        &self.params[p],
+                    let st = step_rates(
+                        &self.rates[p],
                         LcState {
                             x: self.x[p],
                             u: self.u[p],
@@ -224,6 +226,7 @@ impl PanelKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dynamics::LcParams;
     use crate::panel::Heterogeneity;
 
     const FS: f64 = 40_000.0;

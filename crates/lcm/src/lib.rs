@@ -20,7 +20,7 @@ pub mod mls;
 pub mod panel;
 pub mod pixel;
 
-pub use dynamics::{LcParams, LcState};
+pub use dynamics::{LcParams, LcRates, LcState};
 pub use fingerprint::{EmuPixel, FingerprintSet};
 pub use kernel::PanelKernel;
 pub use panel::{DriveCommand, Heterogeneity, Panel};

@@ -213,12 +213,21 @@ impl LinkSimulator {
         // Channel, fused over the same buffer (identical operand order to
         // the reference's push loop: roll_rot · z · (amp · flutter)).
         let (flut_amp, flut_rate) = self.scene.mobility.flutter();
-        for (i, z) in scratch.rx[PAD..].iter_mut().enumerate() {
-            let t = i as f64 / cfg.fs;
-            let flutter = 1.0
-                + flut_amp
-                    * (2.0 * std::f64::consts::PI * flut_rate * t + (pkt_seed % 17) as f64).sin();
-            *z = roll_rot * *z * (amp * flutter);
+        if flut_amp == 0.0 {
+            // Static scene: `1.0 + 0.0·sin(·) == 1.0` and `amp·1.0 == amp`
+            // exactly, so skipping the per-sample sine is bit-identical.
+            for z in scratch.rx[PAD..].iter_mut() {
+                *z = roll_rot * *z * amp;
+            }
+        } else {
+            for (i, z) in scratch.rx[PAD..].iter_mut().enumerate() {
+                let t = i as f64 / cfg.fs;
+                let flutter = 1.0
+                    + flut_amp
+                        * (2.0 * std::f64::consts::PI * flut_rate * t + (pkt_seed % 17) as f64)
+                            .sin();
+                *z = roll_rot * *z * (amp * flutter);
+            }
         }
         let mut sig = Signal::new(std::mem::take(&mut scratch.rx), cfg.fs);
         self.add_channel_noise(&mut sig, snr_db, pkt_seed);

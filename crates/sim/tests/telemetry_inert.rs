@@ -143,6 +143,53 @@ fn robustness_canonical() -> String {
     out
 }
 
+/// The instrumented DFE kernel (`dfe.slots` / `dfe.extensions_scored`
+/// counters and the `dfe.score` span sit directly in the beam hot loop),
+/// serialised bit-exactly: decided symbols and the winning branch's
+/// accumulated cost, tracked and untracked, at K = 4 and 16.
+fn dfe_canonical() -> String {
+    use retroturbo_core::{Equalizer, Modulator, PhyConfig, TagModel};
+    use retroturbo_dsp::noise::NoiseSource;
+    use retroturbo_dsp::C64;
+    use retroturbo_lcm::LcParams;
+
+    let c = PhyConfig::default_8kbps();
+    let model = TagModel::nominal(&c, &LcParams::default());
+    let m = Modulator::new(c);
+    let bits: Vec<bool> = (0..96).map(|i| (i * 13) % 5 < 2).collect();
+    let frame = m.modulate(&bits);
+    let wave = model.render_levels(&frame.levels);
+    let g = C64::cis(0.21);
+    let mut rx: Vec<C64> = wave
+        .iter()
+        .map(|&z| g * z + C64::new(0.05, -0.02))
+        .collect();
+    let mut ns = NoiseSource::new(13);
+    ns.add_awgn(&mut rx, 0.05);
+    let known = &frame.levels[..frame.payload_start()];
+
+    let mut out = String::new();
+    for k in [4usize, 16] {
+        for track in [None, Some(3usize)] {
+            let mut eq = Equalizer::new(c).with_branches(k);
+            if let Some(b) = track {
+                eq = eq.with_tracking(b);
+            }
+            let (syms, cost) = eq.equalize_with_cost(&rx, &model, known, frame.payload_slots);
+            out.push_str(&format!(
+                "dfe|k={k}|track={}|cost={:016x}|",
+                track.is_some(),
+                cost.to_bits()
+            ));
+            for s in &syms {
+                out.push_str(&format!("{}{}", s.i, s.q));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// Field-sweep output must match the committed fixture byte-for-byte in
 /// BOTH feature configurations (CI runs each).
 #[test]
@@ -157,6 +204,15 @@ fn fig16a_output_matches_committed_fixture() {
 fn robustness_output_matches_committed_fixture() {
     let _g = registry_guard();
     assert_matches_fixture(&robustness_canonical(), "telemetry_inert_robustness.txt");
+}
+
+/// DFE beam output must match the committed fixture byte-for-byte in BOTH
+/// feature configurations (CI runs each): the counters and span in the
+/// scoring hot loop observe the beam without perturbing it.
+#[test]
+fn dfe_output_matches_committed_fixture() {
+    let _g = registry_guard();
+    assert_matches_fixture(&dfe_canonical(), "telemetry_inert_dfe.txt");
 }
 
 /// Two in-process runs of the same workload are identical: the telemetry

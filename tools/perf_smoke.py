@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Warn-only perf smoke report over BENCH_kernels.json.
+
+Prints a table of every kernel row (ns/iter, ns/symbol, threads, speedup)
+and flags optimized/reference pairs whose speedup fell below an advisory
+floor. Shared CI runners are far too noisy for a hard perf gate, so this
+script NEVER fails on timing: correctness gating is the bench binary's own
+checksum-divergence exit (it returns nonzero before this script runs if any
+optimized kernel's output diverges from its reference pair).
+
+Exit status: 0 always, except when the JSON file is missing or malformed
+(which means the bench step itself broke).
+
+Usage: tools/perf_smoke.py [BENCH_kernels.json]
+"""
+
+import json
+import sys
+
+# Advisory floors for the tracked reference/optimized pairs (PR acceptance
+# targets with generous headroom for runner noise). Purely informational.
+ADVISORY_FLOORS = {
+    "dfe_equalize_k16_gram": 2.0,
+    "preamble_search_gram": 2.0,
+    "online_training_precomputed": 4.0,
+}
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf-smoke: cannot read {path}: {e}", file=sys.stderr)
+        return 1
+
+    header = f"{'kernel':<36} {'ns/iter':>14} {'ns/symbol':>12} {'thr':>4} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    warnings = []
+    for r in rows:
+        ns_sym = r.get("ns_per_symbol")
+        ns_sym_s = f"{ns_sym:>12.1f}" if isinstance(ns_sym, (int, float)) else f"{'-':>12}"
+        print(
+            f"{r['kernel']:<36} {r['ns_per_iter']:>14.1f} {ns_sym_s} "
+            f"{r.get('threads', 1):>4} {r.get('speedup', 1.0):>8.3f}"
+        )
+        floor = ADVISORY_FLOORS.get(r["kernel"])
+        if floor is not None and r.get("speedup", 0.0) < floor:
+            warnings.append(
+                f"perf-smoke: WARNING: {r['kernel']} speedup "
+                f"{r.get('speedup', 0.0):.2f}x below advisory floor {floor:.1f}x "
+                f"(warn-only; runner noise is expected)"
+            )
+    print()
+    for w in warnings:
+        print(w)
+    if not warnings:
+        print("perf-smoke: all tracked pairs at or above advisory floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
