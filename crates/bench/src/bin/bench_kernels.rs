@@ -4,12 +4,14 @@
 //! pipeline) against their retained reference implementations, plus the
 //! parallel sweep runtime at 1 vs N threads, and writes
 //! `BENCH_kernels.json` — one record per measurement with
-//! `{kernel, ns_per_iter, ns_per_symbol, threads, speedup}` — to seed the
-//! perf trajectory. `ns_per_symbol` normalizes frame-scaling kernels (DFE,
-//! packet pipeline) by their payload symbol count so trajectories stay
-//! comparable if a PR changes the benchmark workload size; it is `null`
-//! for fixed-size kernels. The full schema contract (consumed by
-//! `tools/perf_smoke.py` in CI) is documented in `crates/bench/README.md`.
+//! `{kernel, ns_per_iter, ns_per_symbol, ns_per_point, threads, speedup}` —
+//! to seed the perf trajectory. `ns_per_symbol` normalizes frame-scaling
+//! kernels (DFE, packet pipeline) by their payload symbol count and
+//! `ns_per_point` normalizes sweep entries by their grid-point count, so
+//! trajectories stay comparable if a PR changes the benchmark workload
+//! size; both are `null` where they do not apply. The full schema contract
+//! (consumed by `tools/perf_smoke.py` in CI) is documented in
+//! `crates/bench/README.md`.
 //!
 //! Speedup is reference-ns / optimized-ns for kernel pairs, and
 //! 1-thread-ns / N-thread-ns for the sweep (≈1.0 on a single-core host).
@@ -89,6 +91,10 @@ struct Record {
     /// kernels whose work scales with a frame's payload; `None` (emitted as
     /// JSON `null`) for fixed-size kernels and sweeps.
     ns_per_symbol: Option<f64>,
+    /// Per-grid-point normalization (`ns_per_iter / points`) for sweep
+    /// entries, so trajectories survive grid-size changes; `None` (JSON
+    /// `null`) for non-sweep kernels.
+    ns_per_point: Option<f64>,
     threads: usize,
     speedup: f64,
 }
@@ -188,6 +194,7 @@ fn main() {
             kernel: kernel_ref,
             ns_per_iter: dfe_ref,
             ns_per_symbol: Some(dfe_ref / payload_syms),
+            ns_per_point: None,
             threads: 1,
             speedup: 1.0,
         });
@@ -195,6 +202,7 @@ fn main() {
             kernel: kernel_opt,
             ns_per_iter: dfe_new,
             ns_per_symbol: Some(dfe_new / payload_syms),
+            ns_per_point: None,
             threads: 1,
             speedup: dfe_ref / dfe_new,
         });
@@ -224,6 +232,7 @@ fn main() {
         kernel: "fingerprint_relative_error_reference",
         ns_per_iter: fp_ref,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: 1.0,
     });
@@ -231,6 +240,7 @@ fn main() {
         kernel: "fingerprint_relative_error_precomputed",
         ns_per_iter: fp_new,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: fp_ref / fp_new,
     });
@@ -260,6 +270,7 @@ fn main() {
         kernel: "online_training_reference",
         ns_per_iter: tr_ref,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: 1.0,
     });
@@ -267,6 +278,7 @@ fn main() {
         kernel: "online_training_precomputed",
         ns_per_iter: tr_new,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: tr_ref / tr_new,
     });
@@ -314,6 +326,7 @@ fn main() {
         kernel: "panel_simulate_reference",
         ns_per_iter: panel_ref,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: 1.0,
     });
@@ -321,6 +334,7 @@ fn main() {
         kernel: "panel_simulate_soa",
         ns_per_iter: panel_soa,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: panel_ref / panel_soa,
     });
@@ -356,6 +370,7 @@ fn main() {
         kernel: "preamble_search_reference",
         ns_per_iter: pre_ref,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: 1.0,
     });
@@ -363,6 +378,7 @@ fn main() {
         kernel: "preamble_search_gram",
         ns_per_iter: pre_gram,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: pre_ref / pre_gram,
     });
@@ -402,6 +418,7 @@ fn main() {
         kernel: "run_packet_reference",
         ns_per_iter: pkt_ref,
         ns_per_symbol: Some(pkt_ref / pkt_syms),
+        ns_per_point: None,
         threads: 1,
         speedup: 1.0,
     });
@@ -409,9 +426,58 @@ fn main() {
         kernel: "run_packet_fused",
         ns_per_iter: pkt_fused,
         ns_per_symbol: Some(pkt_fused / pkt_syms),
+        ns_per_point: None,
         threads: 1,
         speedup: pkt_ref / pkt_fused,
     });
+
+    // --- Waveform synthesis: live render vs cached re-noise (§7.3) -------
+    // The sweep engine's core trade: a cache hit replaces the whole
+    // per-packet synthesis (panel ODE + channel + fresh AWGN) with a copy of
+    // the cached clean wave, re-applied channel, and σ-scaled cached unit
+    // normals — bit-identical by construction, and gated here by checksum.
+    {
+        let clean = sim.render_clean(&mut scratch, &pkt_bits);
+        let unit_noise = sim.packet_unit_noise(clean.len(), 5);
+        let live_sig = sim.synth_rx(&mut scratch, &pkt_bits, 5);
+        let renoise_sig = sim.synth_rx_renoise(&mut scratch, &clean, &unit_noise, 5);
+        if checksum_c64(live_sig.samples()) != checksum_c64(renoise_sig.samples()) {
+            diverged.push("waveform_renoise".into());
+        }
+        scratch.give_back(live_sig.into_samples());
+        scratch.give_back(renoise_sig.into_samples());
+        let mut renoise_scratch = sim.make_scratch();
+        let (render_ns, renoise_ns) = time_pair_ns(
+            if quick { 2 } else { 5 },
+            reps,
+            || {
+                let s = sim.synth_rx(&mut scratch, &pkt_bits, 5);
+                std::hint::black_box(&s);
+                scratch.give_back(s.into_samples());
+            },
+            || {
+                let s = sim.synth_rx_renoise(&mut renoise_scratch, &clean, &unit_noise, 5);
+                std::hint::black_box(&s);
+                renoise_scratch.give_back(s.into_samples());
+            },
+        );
+        records.push(Record {
+            kernel: "waveform_render_reference",
+            ns_per_iter: render_ns,
+            ns_per_symbol: Some(render_ns / pkt_syms),
+            ns_per_point: None,
+            threads: 1,
+            speedup: 1.0,
+        });
+        records.push(Record {
+            kernel: "waveform_renoise_cached",
+            ns_per_iter: renoise_ns,
+            ns_per_symbol: Some(renoise_ns / pkt_syms),
+            ns_per_point: None,
+            threads: 1,
+            speedup: render_ns / renoise_ns,
+        });
+    }
 
     // --- RS decode: errors-only vs errors-and-erasures (same damage) ------
     // Ten damaged symbols, all flagged: both decoders must recover the same
@@ -448,6 +514,7 @@ fn main() {
         kernel: "rs_decode_errors_only",
         ns_per_iter: rs_plain,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: 1.0,
     });
@@ -455,6 +522,7 @@ fn main() {
         kernel: "rs_decode_errata",
         ns_per_iter: rs_errata,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: rs_plain / rs_errata,
     });
@@ -488,6 +556,7 @@ fn main() {
         kernel: "impairment_chain_full",
         ns_per_iter: imp_ns,
         ns_per_symbol: None,
+        ns_per_point: None,
         threads: 1,
         speedup: 1.0,
     });
@@ -503,11 +572,14 @@ fn main() {
             });
         })
     };
+    // 2 distances × 2 rate curves.
+    let sweep_points = 4.0;
     let sweep_1 = sweep(1);
     records.push(Record {
         kernel: "sweep_fig16a_quick",
         ns_per_iter: sweep_1,
         ns_per_symbol: None,
+        ns_per_point: Some(sweep_1 / sweep_points),
         threads: 1,
         speedup: 1.0,
     });
@@ -517,6 +589,7 @@ fn main() {
             kernel: "sweep_fig16a_quick",
             ns_per_iter: sweep_n,
             ns_per_symbol: None,
+            ns_per_point: Some(sweep_n / sweep_points),
             threads: n_threads,
             speedup: sweep_1 / sweep_n,
         });
@@ -531,11 +604,16 @@ fn main() {
             Some(v) => format!("{v:.1}"),
             None => "null".into(),
         };
+        let per_point = match r.ns_per_point {
+            Some(v) => format!("{v:.1}"),
+            None => "null".into(),
+        };
         json.push_str(&format!(
-            "  {{\"kernel\": \"{}\", \"ns_per_iter\": {:.1}, \"ns_per_symbol\": {}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
+            "  {{\"kernel\": \"{}\", \"ns_per_iter\": {:.1}, \"ns_per_symbol\": {}, \"ns_per_point\": {}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
             r.kernel,
             r.ns_per_iter,
             per_sym,
+            per_point,
             r.threads,
             r.speedup,
             if i + 1 < records.len() { "," } else { "" }

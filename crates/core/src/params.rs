@@ -142,6 +142,51 @@ impl PhyConfig {
     pub fn symbol_duration(&self) -> f64 {
         self.l_order as f64 * self.t_slot
     }
+
+    /// Stable fingerprint over every field (configs with equal fingerprints
+    /// are equal up to f64 bit patterns). Used as a cache-key component by
+    /// the sweep engine and the process-wide receiver cache.
+    pub fn fingerprint(&self) -> u64 {
+        fp_fold(&[
+            self.render_fingerprint(),
+            self.v_memory as u64,
+            self.k_branches as u64,
+        ])
+    }
+
+    /// Fingerprint over the *waveform-shaping* fields only: everything that
+    /// determines a tag's clean rendered waveform for a given payload —
+    /// modulation geometry (L, P), timing (T, fs) and frame structure
+    /// (preamble, training rounds). Receiver-side knobs (`v_memory`,
+    /// `k_branches`) are deliberately excluded so e.g. a DFE branch-count
+    /// sweep re-noises one cached render instead of re-rendering per K.
+    pub fn render_fingerprint(&self) -> u64 {
+        fp_fold(&[
+            self.l_order as u64,
+            self.pqam_order as u64,
+            self.t_slot.to_bits(),
+            self.fs.to_bits(),
+            self.preamble_slots as u64,
+            self.training_rounds as u64,
+        ])
+    }
+}
+
+/// Order-sensitive 64-bit hash fold (splitmix64 finalizer per word). Not
+/// cryptographic — only has to separate distinct configs in a cache map.
+/// Public so downstream cache keys (e.g. the sweep engine's render
+/// fingerprints) compose with [`PhyConfig::render_fingerprint`] using the
+/// same mixer.
+#[inline]
+pub fn fp_fold(words: &[u64]) -> u64 {
+    let mut h: u64 = 0x243F_6A88_85A3_08D3; // pi digits: fixed non-zero init
+    for &w in words {
+        let mut z = h ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -193,6 +238,31 @@ mod tests {
         let c = PhyConfig::default_1kbps();
         assert_eq!((c.l_order, c.pqam_order), (2, 4));
         assert!((c.t_slot - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprints_separate_configs() {
+        let base = PhyConfig::default_8kbps();
+        assert_eq!(base.fingerprint(), base.fingerprint());
+        assert_ne!(base.fingerprint(), PhyConfig::default_4kbps().fingerprint());
+        assert_ne!(
+            base.render_fingerprint(),
+            PhyConfig::default_4kbps().render_fingerprint()
+        );
+        // Receiver-side knobs change the full fingerprint but NOT the render
+        // fingerprint — that is what lets K/V sweeps share cached renders.
+        let k4 = PhyConfig {
+            k_branches: 4,
+            ..base
+        };
+        let v1 = PhyConfig {
+            v_memory: 1,
+            ..base
+        };
+        assert_ne!(base.fingerprint(), k4.fingerprint());
+        assert_ne!(base.fingerprint(), v1.fingerprint());
+        assert_eq!(base.render_fingerprint(), k4.render_fingerprint());
+        assert_eq!(base.render_fingerprint(), v1.render_fingerprint());
     }
 
     #[test]

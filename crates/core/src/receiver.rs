@@ -262,6 +262,31 @@ impl Receiver {
         self.decode_at_masked(rx, m.offset, m, n_bits, Some(unreliable))
     }
 
+    /// [`Self::receive_window`] composed entirely from the retained scalar
+    /// reference kernels: reference preamble search
+    /// (`PreambleDetector::detect_in_reference`), reference online training
+    /// (`OnlineTrainer::train_reference`) and the scalar DFE
+    /// (`Equalizer::equalize_reference`). Each kernel pair's own
+    /// differential tests pin the optimized path to this one, so this is
+    /// the end-to-end no-cache oracle the sweep engine's differential
+    /// tests decode against — the slowest, most literal formulation of the
+    /// receiver, kept bit-identical to the production path.
+    pub fn receive_window_reference(
+        &self,
+        rx: &Signal,
+        from: usize,
+        to: usize,
+        n_bits: usize,
+    ) -> Result<RxResult, RxError> {
+        let m = {
+            let _t = telemetry::span("rx.detect");
+            self.detector
+                .detect_in_reference(rx, from, to)
+                .ok_or(RxError::NoPreamble)?
+        };
+        self.decode_at_masked_impl(rx, m.offset, m, n_bits, None, true)
+    }
+
     fn decode_at(
         &self,
         rx: &Signal,
@@ -280,6 +305,20 @@ impl Receiver {
         n_bits: usize,
         unreliable: Option<&[bool]>,
     ) -> Result<RxResult, RxError> {
+        self.decode_at_masked_impl(rx, offset, m, n_bits, unreliable, false)
+    }
+
+    /// Shared decode body; `reference` routes training and equalization
+    /// through the scalar reference kernels (same decisions, no fast paths).
+    fn decode_at_masked_impl(
+        &self,
+        rx: &Signal,
+        offset: usize,
+        m: crate::preamble::PreambleMatch,
+        n_bits: usize,
+        unreliable: Option<&[bool]>,
+        reference: bool,
+    ) -> Result<RxResult, RxError> {
         let spt = self.cfg.samples_per_slot();
         let bps = self.cfg.bits_per_symbol();
         let n_payload = n_bits.div_ceil(bps);
@@ -295,7 +334,11 @@ impl Receiver {
 
         let model = if self.online_training {
             let _t = telemetry::span("rx.train");
-            self.trainer.train(&corrected)
+            if reference {
+                self.trainer.train_reference(&corrected)
+            } else {
+                self.trainer.train(&corrected)
+            }
         } else {
             self.nominal.clone()
         };
@@ -312,7 +355,11 @@ impl Receiver {
         known.extend(Modulator::training_levels(&self.cfg));
         let symbols = {
             let _t = telemetry::span("rx.equalize");
-            eq.equalize(&corrected, &model, &known, n_payload)
+            if reference {
+                eq.equalize_reference(&corrected, &model, &known, n_payload)
+            } else {
+                eq.equalize(&corrected, &model, &known, n_payload)
+            }
         };
         let bits = {
             let _t = telemetry::span("rx.demap");

@@ -32,6 +32,54 @@ pub fn sigma_for_snr(snr_db: f64, a: f64) -> f64 {
     (a * a / from_db(snr_db)).sqrt()
 }
 
+/// The shared SNR→noise convention for links that superimpose AWGN on a
+/// rendered waveform (`EmulatedLink`, `ImpairedLink`, the field channel):
+/// a target SNR in dB plus the full-scale signal amplitude `A` it is quoted
+/// against. Centralizing the pair keeps every `set_snr_db` site on the one
+/// module-level convention (`SNR_dB = 10·log10(A²/σ²)`, per-component σ²)
+/// instead of each link re-deriving σ on its own.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrAwgn {
+    snr_db: f64,
+    amplitude: f64,
+}
+
+impl SnrAwgn {
+    /// Convention for a link whose clean render has full-scale amplitude `a`.
+    pub fn new(snr_db: f64, amplitude: f64) -> Self {
+        Self { snr_db, amplitude }
+    }
+
+    /// Current target SNR, dB.
+    #[inline]
+    pub fn snr_db(&self) -> f64 {
+        self.snr_db
+    }
+
+    /// Full-scale amplitude the SNR is quoted against.
+    #[inline]
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Retune the target SNR (the shared body of every `set_snr_db`).
+    pub fn set_snr_db(&mut self, snr_db: f64) {
+        self.snr_db = snr_db;
+    }
+
+    /// Per-component noise deviation realizing the target SNR.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        sigma_for_snr(self.snr_db, self.amplitude)
+    }
+
+    /// Superimpose AWGN at the target SNR onto a clean render in place.
+    #[inline]
+    pub fn add_to(&self, ns: &mut NoiseSource, x: &mut [C64]) {
+        ns.add_awgn(x, self.sigma());
+    }
+}
+
 /// Deterministic Gaussian noise source.
 ///
 /// Wraps a counter-based RNG seeded explicitly so every experiment run is
@@ -122,6 +170,52 @@ mod tests {
         assert!((sigma_for_snr(0.0, 1.0) - 1.0).abs() < 1e-12);
         // +20 dB ⇒ σ = 0.1.
         assert!((sigma_for_snr(20.0, 1.0) - 0.1).abs() < 1e-12);
+    }
+
+    /// Pin the dB→sigma mapping shared by every link's `set_snr_db`:
+    /// [`SnrAwgn::sigma`] must stay bit-identical to the historical direct
+    /// `sigma_for_snr` calls it replaced, and the mapping itself must stay
+    /// on the documented convention.
+    #[test]
+    fn snr_awgn_pins_db_to_sigma_mapping() {
+        for &(db, a) in &[
+            (0.0, 1.0),
+            (20.0, 1.0),
+            (30.0, 1.0),
+            (13.7, 0.5),
+            (-6.0, 0.5),
+            (55.6015, 0.5),
+        ] {
+            let mut h = SnrAwgn::new(f64::NAN, a);
+            h.set_snr_db(db);
+            assert_eq!(
+                h.sigma().to_bits(),
+                sigma_for_snr(db, a).to_bits(),
+                "SnrAwgn({db} dB, A={a}) diverged from sigma_for_snr"
+            );
+        }
+        // Anchor absolute values (not just self-consistency): σ = A/10^(dB/20).
+        assert!((SnrAwgn::new(0.0, 1.0).sigma() - 1.0).abs() < 1e-15);
+        assert!((SnrAwgn::new(20.0, 1.0).sigma() - 0.1).abs() < 1e-15);
+        assert!((SnrAwgn::new(20.0, 0.5).sigma() - 0.05).abs() < 1e-15);
+        assert!((SnrAwgn::new(-20.0, 1.0).sigma() - 10.0).abs() < 1e-12);
+    }
+
+    /// `SnrAwgn::add_to` is bit-identical to the `add_awgn(sigma_for_snr(..))`
+    /// call pattern it deduplicates.
+    #[test]
+    fn snr_awgn_add_matches_manual_call() {
+        let clean = vec![C64::real(0.3); 64];
+        let mut a = clean.clone();
+        let mut b = clean;
+        let mut ns_a = NoiseSource::new(11);
+        let mut ns_b = NoiseSource::new(11);
+        SnrAwgn::new(17.0, 1.0).add_to(&mut ns_a, &mut a);
+        ns_b.add_awgn(&mut b, sigma_for_snr(17.0, 1.0));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
     }
 
     #[test]

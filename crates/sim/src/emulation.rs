@@ -10,54 +10,58 @@
 //! link to the MAC's [`BitPipe`] for the coding-gain and rate-adaptation
 //! studies.
 
+use crate::sweep::CleanPacket;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use retroturbo_core::{Modulator, PhyConfig, Receiver, TagModel};
-use retroturbo_dsp::noise::{sigma_for_snr, NoiseSource};
-use retroturbo_dsp::Signal;
+use retroturbo_core::{params::fp_fold, Modulator, PhyConfig, Receiver, TagModel};
+use retroturbo_dsp::noise::{NoiseSource, SnrAwgn};
+use retroturbo_dsp::{Signal, C64};
 use retroturbo_lcm::LcParams;
 use retroturbo_mac::BitPipe;
 
 /// An emulated PHY link at a fixed SNR.
 pub struct EmulatedLink {
     cfg: PhyConfig,
-    snr_db: f64,
+    snr: SnrAwgn,
     modulator: Modulator,
     receiver: Receiver,
     model: TagModel,
     noise: NoiseSource,
+    seed: u64,
 }
 
 impl EmulatedLink {
     /// Build an emulated link at `snr_db` (per the repository SNR
-    /// convention, DESIGN.md §3).
+    /// convention, DESIGN.md §3; emulated renders are quoted against
+    /// full-scale amplitude 1).
     pub fn new(cfg: PhyConfig, snr_db: f64, seed: u64) -> Self {
         cfg.validate();
         let params = LcParams::default();
-        let mut receiver = Receiver::new(cfg, &params, 1);
+        let mut receiver = Receiver::new_cached(cfg, &params, 1);
         // Emulation replays nominal reference waveforms, so per-packet
         // training would only fit noise; keep the pipeline but disable it.
         receiver.online_training = false;
         Self {
             cfg,
-            snr_db,
+            snr: SnrAwgn::new(snr_db, 1.0),
             modulator: Modulator::new(cfg),
             receiver,
             model: TagModel::nominal(&cfg, &params),
             noise: NoiseSource::new(seed),
+            seed,
         }
     }
 
     /// The configured SNR.
     pub fn snr_db(&self) -> f64 {
-        self.snr_db
+        self.snr.snr_db()
     }
 
     /// Change the SNR mid-exchange (models an ambient-light step or a deep
     /// fade while an ARQ exchange is in flight).
     pub fn set_snr_db(&mut self, snr_db: f64) {
-        self.snr_db = snr_db;
+        self.snr.set_snr_db(snr_db);
     }
 
     /// The PHY configuration.
@@ -70,13 +74,70 @@ impl EmulatedLink {
     pub fn transmit_once(&mut self, bits: &[bool]) -> Option<Vec<bool>> {
         let frame = self.modulator.modulate(bits);
         let mut wave = self.model.render_levels(&frame.levels);
-        let sigma = sigma_for_snr(self.snr_db, 1.0);
-        self.noise.add_awgn(&mut wave, sigma);
+        self.snr.add_to(&mut self.noise, &mut wave);
         let sig = Signal::new(wave, self.cfg.fs);
         self.receiver
             .receive_at(&sig, 0, bits.len())
             .ok()
             .map(|r| r.bits)
+    }
+
+    /// Fingerprint of everything shaping this link's clean renders and
+    /// noise stream (payloads and unit normals), excluding the SNR — the
+    /// sweep engine's cache key for emulated BER-vs-SNR curves, where every
+    /// point of a rate's curve re-noises one cached render set.
+    pub fn render_fingerprint(&self) -> u64 {
+        fp_fold(&[self.cfg.render_fingerprint(), self.seed])
+    }
+
+    /// Render the exact packet sequence [`Self::run_ber`] would transmit —
+    /// clean [`TagModel`] waves, payload bits, and the unit-variance noise
+    /// stream (one persistent source across packets, as the live path
+    /// consumes it) — without adding noise, so every SNR point can re-noise
+    /// the one cached set via [`Self::run_ber_renoise`].
+    pub fn render_packets(
+        &self,
+        n_packets: usize,
+        payload_bytes: usize,
+        data_seed: u64,
+    ) -> Vec<CleanPacket> {
+        let mut rng = StdRng::seed_from_u64(data_seed);
+        let mut ns = NoiseSource::new(self.seed);
+        (0..n_packets)
+            .map(|_| {
+                let bits: Vec<bool> = (0..payload_bytes * 8).map(|_| rng.gen()).collect();
+                let frame = self.modulator.modulate(&bits);
+                let wave = self.model.render_levels(&frame.levels);
+                let unit_noise = (0..wave.len()).map(|_| ns.complex_gaussian(1.0)).collect();
+                CleanPacket {
+                    bits,
+                    wave,
+                    unit_noise,
+                }
+            })
+            .collect()
+    }
+
+    /// [`Self::run_ber`] from a cached render set: superimpose this link's
+    /// σ on the cached unit normals (§7.3 verbatim) and decode. Bit-identical
+    /// to a fresh `run_ber` with the matching `(seed, data_seed, n, bytes)`.
+    pub fn run_ber_renoise(&self, renders: &[CleanPacket]) -> f64 {
+        let sigma = self.snr.sigma();
+        let mut errs = 0usize;
+        let mut total = 0usize;
+        for cp in renders {
+            let mut wave = cp.wave.clone();
+            for (z, n) in wave.iter_mut().zip(&cp.unit_noise) {
+                *z += C64::new(n.re * sigma, n.im * sigma);
+            }
+            let sig = Signal::new(wave, self.cfg.fs);
+            match self.receiver.receive_at(&sig, 0, cp.bits.len()) {
+                Ok(r) => errs += r.bits.iter().zip(&cp.bits).filter(|(a, b)| a != b).count(),
+                Err(_) => errs += cp.bits.len(),
+            }
+            total += cp.bits.len();
+        }
+        errs as f64 / total.max(1) as f64
     }
 
     /// Emulated BER over `n_packets` random packets of `payload_bytes`.
@@ -149,6 +210,24 @@ mod tests {
             bers[0] >= bers[1] && bers[1] >= bers[2],
             "BER not monotone: {bers:?}"
         );
+    }
+
+    /// The §7.3 re-noise path must reproduce the live emulated BER
+    /// bit-for-bit at every SNR from one cached render set.
+    #[test]
+    fn renoise_ber_bit_identical_to_live_run() {
+        let renders = EmulatedLink::new(small_cfg(), 0.0, 7).render_packets(3, 16, 42);
+        for snr in [12.0, 20.0, 50.0] {
+            let mut live = EmulatedLink::new(small_cfg(), snr, 7);
+            let cached = EmulatedLink::new(small_cfg(), snr, 7);
+            let a = live.run_ber(3, 16, 42);
+            let b = cached.run_ber_renoise(&renders);
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "snr {snr}: live {a} vs cached {b}"
+            );
+        }
     }
 
     #[test]

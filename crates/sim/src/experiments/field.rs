@@ -5,6 +5,8 @@ use super::Effort;
 use crate::link::LinkSimulator;
 use crate::link_budget::LinkBudget;
 use crate::scene::{AmbientLight, HumanMobility, Scene};
+use crate::sweep::workloads::{FieldOracle, FieldSweep};
+use crate::sweep::{GridPoint, RefineConfig, SweepEngine};
 use retroturbo_core::PhyConfig;
 use retroturbo_runtime::par_map_seeded;
 
@@ -29,31 +31,88 @@ fn run_point(cfg: PhyConfig, scene: Scene, seed: u64, effort: Effort) -> (f64, f
 
 /// Fig. 16a: BER versus line-of-sight distance at 4 and 8 kbps.
 ///
-/// Points run in parallel (see [`retroturbo_runtime::par_map_seeded`]); the
-/// output order and values are identical at every thread count.
+/// Runs on the [`SweepEngine`]: each `(config, seed)` pair's clean packet
+/// renders are computed once and re-noised at every distance (the per-point
+/// differences — path-loss SNR and ambient σ — act after the ODE). Output
+/// order and values are identical to the pre-engine driver at every thread
+/// count.
 pub fn fig16a_ber_vs_distance(distances_m: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
-    let mut points = Vec::new();
-    for (label, cfg) in [
-        ("4kbps", PhyConfig::default_4kbps()),
-        ("8kbps", PhyConfig::default_8kbps()),
-    ] {
+    fig16a_on_engine(distances_m, effort, seed, &SweepEngine::new(seed))
+}
+
+/// [`fig16a_ber_vs_distance`] with cliff-adaptive refinement: extra points
+/// are inserted where each curve crosses the 1 % BER threshold (bounded by
+/// `refine`), appended after the coarse grid in (curve, x) order.
+pub fn fig16a_ber_vs_distance_refined(
+    distances_m: &[f64],
+    effort: Effort,
+    seed: u64,
+    refine: RefineConfig,
+) -> Vec<BerPoint> {
+    fig16a_on_engine(
+        distances_m,
+        effort,
+        seed,
+        &SweepEngine::new(seed).with_refinement(refine),
+    )
+}
+
+/// The fig16a workload: curve 0 = 4 kbps, curve 1 = 8 kbps, x = distance.
+pub(crate) fn fig16a_workload(
+    effort: Effort,
+    seed: u64,
+) -> FieldSweep<impl Fn(usize, f64) -> LinkSimulator + Sync> {
+    FieldSweep {
+        make: move |curve, d| {
+            let cfg = if curve == 0 {
+                PhyConfig::default_4kbps()
+            } else {
+                PhyConfig::default_8kbps()
+            };
+            LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(d), seed)
+        },
+        n_packets: effort.packets(),
+        payload_bytes: effort.payload_bytes(),
+        oracle: FieldOracle::Fused,
+    }
+}
+
+/// The fig16a coarse grid (label-major, matching the historical order).
+pub(crate) fn fig16a_grid(distances_m: &[f64], seed: u64) -> Vec<GridPoint> {
+    let mut grid = Vec::new();
+    for curve in 0..2 {
         for &d in distances_m {
-            points.push((label, cfg, d));
+            grid.push(GridPoint::new(curve, d, seed));
         }
     }
-    par_map_seeded(seed, points, |_, _, (label, cfg, d)| {
-        let (ber, snr) = run_point(cfg, Scene::default_at(d), seed, effort);
-        BerPoint {
-            x: d,
-            label: label.into(),
-            ber,
-            snr_db: snr,
-        }
-    })
+    grid
+}
+
+fn fig16a_on_engine(
+    distances_m: &[f64],
+    effort: Effort,
+    seed: u64,
+    engine: &SweepEngine,
+) -> Vec<BerPoint> {
+    let workload = fig16a_workload(effort, seed);
+    engine
+        .run(&workload, fig16a_grid(distances_m, seed))
+        .into_iter()
+        .map(|(p, o)| BerPoint {
+            x: p.x,
+            label: if p.curve == 0 { "4kbps" } else { "8kbps" }.into(),
+            ber: o.ber,
+            snr_db: o.snr_db,
+        })
+        .collect()
 }
 
 /// Fig. 16b: BER versus roll misalignment at two distances (inside and
 /// outside the 7.5 m working range, as the paper frames it).
+///
+/// On the engine, every (distance, roll) cell shares ONE render set: roll
+/// rotation, like path loss, acts after the ODE, so the whole figure
+/// re-noises a single cached render.
 pub fn fig16b_ber_vs_roll(
     rolls_deg: &[f64],
     distances_m: &[f64],
@@ -61,69 +120,118 @@ pub fn fig16b_ber_vs_roll(
     seed: u64,
 ) -> Vec<BerPoint> {
     let cfg = PhyConfig::default_8kbps();
-    let mut points = Vec::new();
-    for &d in distances_m {
+    let ds: Vec<f64> = distances_m.to_vec();
+    let mut grid = Vec::new();
+    for (curve, _) in ds.iter().enumerate() {
         for &r in rolls_deg {
-            points.push((d, r));
+            grid.push(GridPoint::new(curve, r, seed));
         }
     }
-    par_map_seeded(seed, points, |_, _, (d, r)| {
-        let (ber, snr) = run_point(cfg, Scene::default_at(d).with_roll(r), seed, effort);
-        BerPoint {
-            x: r,
-            label: format!("{d} m"),
-            ber,
-            snr_db: snr,
-        }
-    })
+    let ds_make = ds.clone();
+    let workload = FieldSweep {
+        make: move |curve: usize, r: f64| {
+            LinkSimulator::new(
+                cfg,
+                LinkBudget::fov10(),
+                Scene::default_at(ds_make[curve]).with_roll(r),
+                seed,
+            )
+        },
+        n_packets: effort.packets(),
+        payload_bytes: effort.payload_bytes(),
+        oracle: FieldOracle::Fused,
+    };
+    SweepEngine::new(seed)
+        .run(&workload, grid)
+        .into_iter()
+        .map(|(p, o)| BerPoint {
+            x: p.x,
+            label: format!("{} m", ds[p.curve]),
+            ber: o.ber,
+            snr_db: o.snr_db,
+        })
+        .collect()
 }
 
 /// Fig. 16c: BER versus yaw misalignment, with and without channel training
 /// (the training is what calibrates out the yaw-induced symbol deviation).
+///
+/// Training is receiver-side, so the trained and untrained curves share
+/// each yaw's cached render — the engine renders per yaw, not per cell.
 pub fn fig16c_ber_vs_yaw(yaws_deg: &[f64], effort: Effort, seed: u64) -> Vec<BerPoint> {
     let cfg = PhyConfig::default_8kbps();
-    let mut points = Vec::new();
-    for &trained in &[true, false] {
+    let mut grid = Vec::new();
+    for curve in 0..2 {
         for &y in yaws_deg {
-            points.push((trained, y));
+            grid.push(GridPoint::new(curve, y, seed));
         }
     }
-    par_map_seeded(seed, points, |_, _, (trained, y)| {
-        let scene = Scene::default_at(2.5).with_yaw(y);
-        let mut sim = LinkSimulator::new(cfg, LinkBudget::fov10(), scene, seed);
-        if !trained {
-            sim = sim.without_training();
-        }
-        let snr = sim.effective_snr_db();
-        let ber = sim.run_ber(effort.packets(), effort.payload_bytes());
-        BerPoint {
-            x: y,
-            label: if trained {
+    let workload = FieldSweep {
+        make: move |curve: usize, y: f64| {
+            let sim = LinkSimulator::new(
+                cfg,
+                LinkBudget::fov10(),
+                Scene::default_at(2.5).with_yaw(y),
+                seed,
+            );
+            if curve == 1 {
+                sim.without_training()
+            } else {
+                sim
+            }
+        },
+        n_packets: effort.packets(),
+        payload_bytes: effort.payload_bytes(),
+        oracle: FieldOracle::Fused,
+    };
+    SweepEngine::new(seed)
+        .run(&workload, grid)
+        .into_iter()
+        .map(|(p, o)| BerPoint {
+            x: p.x,
+            label: if p.curve == 0 {
                 "trained".into()
             } else {
                 "no training".into()
             },
-            ber,
-            snr_db: snr,
-        }
-    })
+            ber: o.ber,
+            snr_db: o.snr_db,
+        })
+        .collect()
 }
 
 /// Fig. 16d: BER under the three ambient light presets.
+///
+/// Ambient light only raises the residual noise σ, so all three presets
+/// re-noise one cached render on the engine.
 pub fn fig16d_ber_vs_ambient(effort: Effort, seed: u64) -> Vec<BerPoint> {
     let cfg = PhyConfig::default_8kbps();
-    let ambients = vec![AmbientLight::Dark, AmbientLight::Night, AmbientLight::Day];
-    par_map_seeded(seed, ambients, |_, _, amb| {
-        let mut scene = Scene::default_at(5.0);
-        scene.ambient = amb;
-        let (ber, snr) = run_point(cfg, scene, seed, effort);
-        BerPoint {
-            x: amb.lux(),
-            label: format!("{amb:?}"),
-            ber,
-            snr_db: snr,
-        }
-    })
+    let ambients = [AmbientLight::Dark, AmbientLight::Night, AmbientLight::Day];
+    let grid: Vec<GridPoint> = ambients
+        .iter()
+        .enumerate()
+        .map(|(curve, amb)| GridPoint::new(curve, amb.lux(), seed))
+        .collect();
+    let workload = FieldSweep {
+        make: move |curve: usize, _x: f64| {
+            let mut scene = Scene::default_at(5.0);
+            scene.ambient = ambients[curve];
+            LinkSimulator::new(cfg, LinkBudget::fov10(), scene, seed)
+        },
+        n_packets: effort.packets(),
+        payload_bytes: effort.payload_bytes(),
+        oracle: FieldOracle::Fused,
+    };
+    SweepEngine::new(seed)
+        .run(&workload, grid)
+        .into_iter()
+        .map(|(p, o)| BerPoint {
+            x: p.x,
+            label: format!("{:?}", ambients[p.curve]),
+            ber: o.ber,
+            snr_db: o.snr_db,
+        })
+        .collect()
 }
 
 /// Tab. 4: BER under the five human-mobility cases.

@@ -4,6 +4,8 @@
 
 use crate::emulation::EmulatedLink;
 use crate::link_budget::LinkBudget;
+use crate::sweep::workloads::EmuSweep;
+use crate::sweep::{GridPoint, SweepEngine};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -25,34 +27,57 @@ pub struct SnrBerPoint {
 }
 
 /// Fig. 18a: emulated BER versus SNR for each modulation order / rate.
+///
+/// Runs on the [`SweepEngine`]: each rate's clean packet renders (and the
+/// unit-variance noise stream) are produced once, and every SNR point of
+/// the curve re-noises them — the paper's §7.3 protocol verbatim. Output
+/// is bit-identical to the pre-engine per-point `run_ber` driver.
 pub fn fig18a_ber_vs_snr(
     snrs_db: &[f64],
     n_packets: usize,
     payload_bytes: usize,
     seed: u64,
 ) -> Vec<SnrBerPoint> {
-    let rates: [(&str, PhyConfig); 5] = [
-        ("1kbps", PhyConfig::default_1kbps()),
-        ("4kbps", PhyConfig::default_4kbps()),
-        ("8kbps", PhyConfig::default_8kbps()),
-        ("16kbps", PhyConfig::default_16kbps()),
-        ("32kbps", PhyConfig::emulation_32kbps()),
-    ];
-    let mut points = Vec::new();
-    for (label, cfg) in rates {
+    let labels = ["1kbps", "4kbps", "8kbps", "16kbps", "32kbps"];
+    let mut grid = Vec::new();
+    for (curve, _) in labels.iter().enumerate() {
         for &snr in snrs_db {
-            points.push((label, cfg, snr));
+            grid.push(GridPoint::new(curve, snr, seed));
         }
     }
-    par_map_seeded(seed, points, |_, _, (label, cfg, snr)| {
-        let mut link = EmulatedLink::new(cfg, snr, seed);
-        let ber = link.run_ber(n_packets, payload_bytes, seed ^ 0x5A5A);
-        SnrBerPoint {
-            label: label.into(),
-            snr_db: snr,
-            ber,
-        }
-    })
+    let workload = fig18a_workload(n_packets, payload_bytes, seed);
+    SweepEngine::new(seed)
+        .run(&workload, grid)
+        .into_iter()
+        .map(|(p, o)| SnrBerPoint {
+            label: labels[p.curve].into(),
+            snr_db: p.x,
+            ber: o.ber,
+        })
+        .collect()
+}
+
+/// The fig18a workload: curve index picks the rate, x is the SNR (dB).
+pub(crate) fn fig18a_workload(
+    n_packets: usize,
+    payload_bytes: usize,
+    seed: u64,
+) -> EmuSweep<impl Fn(usize, f64) -> EmulatedLink + Sync> {
+    EmuSweep {
+        make: move |curve, snr| {
+            let cfg = [
+                PhyConfig::default_1kbps,
+                PhyConfig::default_4kbps,
+                PhyConfig::default_8kbps,
+                PhyConfig::default_16kbps,
+                PhyConfig::emulation_32kbps,
+            ][curve]();
+            EmulatedLink::new(cfg, snr, seed)
+        },
+        n_packets,
+        payload_bytes,
+        data_seed: seed ^ 0x5A5A,
+    }
 }
 
 /// The 1%-BER threshold (dB) of each curve in a Fig. 18a sweep, by linear

@@ -11,19 +11,20 @@
 //! degrades gracefully (flags turn into fills, frames still deliver) rather
 //! than falling off a cliff.
 //!
-//! Deterministic: points map through `par_map_seeded`, so the result is
-//! byte-identical at any thread count.
+//! Deterministic: points run through the sweep engine (which shards over
+//! `par_map_seeded`), so the result is byte-identical at any thread count.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 use retroturbo_core::PhyConfig;
 use retroturbo_mac::{stop_and_wait, CodingChoice};
-use retroturbo_runtime::{derive_seed, par_map_seeded};
+use retroturbo_runtime::derive_seed;
 use retroturbo_telemetry as telemetry;
 
 use super::Effort;
 use crate::impairments::{ImpairedLink, ImpairmentConfig};
+use crate::sweep::{GridPoint, SweepEngine, SweepWorkload};
 
 /// One point of the robustness sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,19 +115,36 @@ pub fn robustness_sweep(base_snr_db: f64, effort: Effort, seed: u64) -> Vec<Robu
     )
 }
 
-/// The sweep core over an explicit point list: what [`robustness_sweep`]
-/// runs, exposed so the thread-determinism tests can use a reduced grid.
-pub fn sweep_over(
+/// Engine workload for the robustness matrix. Every point draws fresh
+/// payloads and impairment randomness from its own seed, so there is no
+/// shareable clean render: `render_key` is `None` and the engine always
+/// measures live. The engine still contributes sharding, refinement and
+/// streaming plumbing, and the `sweep.*` counters.
+struct RobustnessSweep {
     points: Vec<(&'static str, f64, ImpairmentConfig)>,
+    phy: PhyConfig,
+    coding: CodingChoice,
     base_snr_db: f64,
     n_pkts: usize,
     payload_bytes: usize,
-    seed: u64,
-) -> Vec<RobustnessPoint> {
-    let phy = sweep_phy();
-    let coding = CodingChoice { n: 64, k: 32 };
+}
 
-    let rows = par_map_seeded(seed, points, move |_, item_seed, (axis, value, imp)| {
+impl SweepWorkload for RobustnessSweep {
+    type Render = ();
+    type Out = RobustnessPoint;
+
+    fn render_key(&self, _p: &GridPoint) -> Option<u64> {
+        None
+    }
+
+    fn render(&self, _p: &GridPoint) {}
+
+    fn measure(&self, p: &GridPoint, _cached: Option<&()>) -> RobustnessPoint {
+        let (axis, value, imp) = self.points[p.curve];
+        let item_seed = p.seed;
+        let (phy, base_snr_db) = (self.phy, self.base_snr_db);
+        let (n_pkts, payload_bytes) = (self.n_pkts, self.payload_bytes);
+
         // Raw BER: uncoded random packets through the impaired link.
         let mut rng = StdRng::seed_from_u64(derive_seed(item_seed, 0));
         let mut errs = 0usize;
@@ -149,11 +167,11 @@ pub fn sweep_over(
         let mut flagged = 0usize;
         let mut filled = 0usize;
         let mut corrected = 0usize;
-        for p in 0..n_pkts {
+        for pk in 0..n_pkts {
             let mut link =
-                ImpairedLink::new(phy, base_snr_db, imp, derive_seed(item_seed, 2 + p as u64));
+                ImpairedLink::new(phy, base_snr_db, imp, derive_seed(item_seed, 2 + pk as u64));
             let payload: Vec<u8> = (0..payload_bytes).map(|_| rng.gen()).collect();
-            let s = stop_and_wait(&mut link, &payload, Some(coding), 0x5B, 4);
+            let s = stop_and_wait(&mut link, &payload, Some(self.coding), 0x5B, 4);
             if s.delivered {
                 delivered += 1;
                 payload_bits_delivered += payload_bytes * 8;
@@ -177,7 +195,42 @@ pub fn sweep_over(
             erasures_filled: filled,
             symbols_corrected: corrected,
         }
-    });
+    }
+
+    fn ber(out: &RobustnessPoint) -> f64 {
+        out.ber
+    }
+}
+
+/// The sweep core over an explicit point list: what [`robustness_sweep`]
+/// runs, exposed so the thread-determinism tests can use a reduced grid.
+pub fn sweep_over(
+    points: Vec<(&'static str, f64, ImpairmentConfig)>,
+    base_snr_db: f64,
+    n_pkts: usize,
+    payload_bytes: usize,
+    seed: u64,
+) -> Vec<RobustnessPoint> {
+    // Each grid point carries the same item seed `par_map_seeded` used to
+    // derive before the engine port, so the output stays byte-identical.
+    let grid: Vec<GridPoint> = points
+        .iter()
+        .enumerate()
+        .map(|(i, (_, value, _))| GridPoint::new(i, *value, derive_seed(seed, i as u64)))
+        .collect();
+    let workload = RobustnessSweep {
+        points,
+        phy: sweep_phy(),
+        coding: CodingChoice { n: 64, k: 32 },
+        base_snr_db,
+        n_pkts,
+        payload_bytes,
+    };
+    let rows: Vec<RobustnessPoint> = SweepEngine::new(seed)
+        .run(&workload, grid)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
 
     // Publish the per-axis telemetry columns *after* the parallel region, by
     // walking the index-ordered result rows: the merge order into the

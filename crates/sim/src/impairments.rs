@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 use retroturbo_core::{Modulator, PhyConfig, Receiver, TagModel};
-use retroturbo_dsp::noise::{sigma_for_snr, NoiseSource};
+use retroturbo_dsp::noise::{sigma_for_snr, NoiseSource, SnrAwgn};
 use retroturbo_dsp::resample::sample_at;
 use retroturbo_dsp::Signal;
 use retroturbo_lcm::LcParams;
@@ -224,7 +224,7 @@ pub struct ImpairmentReport {
 /// MAC's errors-and-erasures decode path gets real erasure information.
 pub struct ImpairedLink {
     cfg: PhyConfig,
-    snr_db: f64,
+    snr: SnrAwgn,
     impairments: ImpairmentConfig,
     modulator: Modulator,
     receiver: Receiver,
@@ -245,7 +245,7 @@ impl ImpairedLink {
         receiver.online_training = false;
         Self {
             cfg,
-            snr_db,
+            snr: SnrAwgn::new(snr_db, 1.0),
             impairments,
             modulator: Modulator::new(cfg),
             receiver,
@@ -263,13 +263,14 @@ impl ImpairedLink {
 
     /// The base (pre-impairment) SNR.
     pub fn snr_db(&self) -> f64 {
-        self.snr_db
+        self.snr.snr_db()
     }
 
     /// Change the base SNR mid-exchange (models an ambient-light step; used
-    /// by the robustness and graceful-degradation studies).
+    /// by the robustness and graceful-degradation studies). Shares the
+    /// dB→σ convention with [`crate::EmulatedLink`] via [`SnrAwgn`].
     pub fn set_snr_db(&mut self, snr_db: f64) {
-        self.snr_db = snr_db;
+        self.snr.set_snr_db(snr_db);
     }
 
     /// Transmit once, returning demodulated bits plus a per-bit reliability
@@ -278,8 +279,7 @@ impl ImpairedLink {
     pub fn transmit_once(&mut self, bits: &[bool]) -> Option<(Vec<bool>, Vec<bool>)> {
         let frame = self.modulator.modulate(bits);
         let mut wave = self.model.render_levels(&frame.levels);
-        let sigma = sigma_for_snr(self.snr_db, 1.0);
-        self.noise.add_awgn(&mut wave, sigma);
+        self.snr.add_to(&mut self.noise, &mut wave);
         let sig = Signal::new(wave, self.cfg.fs);
         let frame_seed = derive_seed(self.seed, 1 + self.frames_sent);
         self.frames_sent += 1;

@@ -18,6 +18,7 @@ pub mod link;
 pub mod link_budget;
 pub mod power;
 pub mod scene;
+pub mod sweep;
 
 pub use emulation::EmulatedLink;
 pub use frontend::{AmbientInjection, Frontend};
@@ -26,3 +27,4 @@ pub use link::{LinkSimulator, PacketOutcome};
 pub use link_budget::LinkBudget;
 pub use power::PowerModel;
 pub use scene::{AmbientLight, HumanMobility, Scene};
+pub use sweep::{CacheMode, CleanPacket, GridPoint, RefineConfig, SweepEngine, SweepWorkload};

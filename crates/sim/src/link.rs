@@ -138,6 +138,45 @@ impl LinkSimulator {
         self.budget.snr_db(self.scene.distance_m) + 10.0 * yaw_gain.log10()
     }
 
+    /// The configuration in use.
+    pub fn config(&self) -> &PhyConfig {
+        &self.cfg
+    }
+
+    /// Fingerprint of everything that shapes this simulator's *clean*
+    /// rendered waveforms (the sweep engine's §7.3 cache key): the
+    /// waveform-shaping [`PhyConfig`] fields, the payload/noise seed, and
+    /// the per-module panel gains (manufacturing heterogeneity × yaw pixel
+    /// skew). Two simulators with equal fingerprints produce bit-identical
+    /// [`Self::render_clean`] / [`Self::packet_bits`] /
+    /// [`Self::packet_unit_noise`] output. Scene roll, distance, ambient
+    /// light, mobility flutter and all receiver-side knobs are deliberately
+    /// excluded: they act *after* the ODE and are re-applied per grid point
+    /// on top of a cached render by [`Self::run_packet_renoise`].
+    pub fn render_fingerprint(&self) -> u64 {
+        let mut words = Vec::with_capacity(2 + self.pristine_panel.module_count());
+        words.push(self.cfg.render_fingerprint());
+        words.push(self.seed);
+        for m in 0..self.pristine_panel.module_count() {
+            words.push(self.pristine_panel.module(m).gain.to_bits());
+        }
+        retroturbo_core::params::fp_fold(&words)
+    }
+
+    /// The payload bits packet `pkt_index` carries under this simulator's
+    /// seed — the exact derivation [`Self::run_ber`] uses, factored out so
+    /// cached-render sweeps draw identical payloads.
+    pub fn packet_bits(&self, payload_bytes: usize, pkt_index: u64) -> Vec<bool> {
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(retroturbo_runtime::derive_seed(
+            self.seed.wrapping_add(1),
+            pkt_index,
+        ));
+        (0..payload_bytes * 8).map(|_| rng.gen()).collect()
+    }
+
     /// Build a per-worker scratch for [`Self::run_packet_with`] (the panel
     /// kernel snapshot plus the reusable channel buffer).
     pub fn make_scratch(&self) -> PacketScratch {
@@ -195,13 +234,8 @@ impl LinkSimulator {
         let cmds = frame.drive_commands(cfg);
         let n_wave = frame.total_slots() * spt;
 
-        let roll_rot = C64::cis(2.0 * self.scene.orientation.roll);
-        // Normalized amplitude after path loss; absolute scale is arbitrary
-        // post-AGC, but applying a gain exercises the scale correction.
-        let amp = 0.5;
-        let rest = roll_rot * C64::new(-1.0, -1.0) * amp;
         scratch.rx.resize(PAD + n_wave, C64::default());
-        scratch.rx[..PAD].fill(rest);
+        scratch.rx[..PAD].fill(self.rest_level());
 
         // Tag side: snapshot/restore instead of cloning the pristine panel;
         // the waveform lands straight in the channel buffer.
@@ -210,18 +244,38 @@ impl LinkSimulator {
             .kernel
             .simulate_into(&cmds, cfg.fs, &mut scratch.rx[PAD..]);
 
-        // Channel, fused over the same buffer (identical operand order to
-        // the reference's push loop: roll_rot · z · (amp · flutter)).
+        self.apply_channel(&mut scratch.rx[PAD..], pkt_seed);
+        let mut sig = Signal::new(std::mem::take(&mut scratch.rx), cfg.fs);
+        self.add_channel_noise(&mut sig, snr_db, pkt_seed);
+        sig
+    }
+
+    /// Rest-level sample filling the guard interval before the frame.
+    #[inline]
+    fn rest_level(&self) -> C64 {
+        let roll_rot = C64::cis(2.0 * self.scene.orientation.roll);
+        // Normalized amplitude after path loss; absolute scale is arbitrary
+        // post-AGC, but applying a gain exercises the scale correction.
+        roll_rot * C64::new(-1.0, -1.0) * 0.5
+    }
+
+    /// Deterministic channel distortion applied to the clean ODE waveform in
+    /// place (identical operand order to the reference's push loop:
+    /// roll_rot · z · (amp · flutter)). Shared by the fused synthesis and
+    /// the cached-render re-noise path so they cannot drift apart.
+    fn apply_channel(&self, wave: &mut [C64], pkt_seed: u64) {
+        let roll_rot = C64::cis(2.0 * self.scene.orientation.roll);
+        let amp = 0.5;
         let (flut_amp, flut_rate) = self.scene.mobility.flutter();
         if flut_amp == 0.0 {
             // Static scene: `1.0 + 0.0·sin(·) == 1.0` and `amp·1.0 == amp`
             // exactly, so skipping the per-sample sine is bit-identical.
-            for z in scratch.rx[PAD..].iter_mut() {
+            for z in wave.iter_mut() {
                 *z = roll_rot * *z * amp;
             }
         } else {
-            for (i, z) in scratch.rx[PAD..].iter_mut().enumerate() {
-                let t = i as f64 / cfg.fs;
+            for (i, z) in wave.iter_mut().enumerate() {
+                let t = i as f64 / self.cfg.fs;
                 let flutter = 1.0
                     + flut_amp
                         * (2.0 * std::f64::consts::PI * flut_rate * t + (pkt_seed % 17) as f64)
@@ -229,9 +283,6 @@ impl LinkSimulator {
                 *z = roll_rot * *z * (amp * flutter);
             }
         }
-        let mut sig = Signal::new(std::mem::take(&mut scratch.rx), cfg.fs);
-        self.add_channel_noise(&mut sig, snr_db, pkt_seed);
-        sig
     }
 
     /// Oracle for [`Self::synth_rx`]: the original allocating formulation
@@ -279,6 +330,117 @@ impl LinkSimulator {
             let mut ns = NoiseSource::new(pkt_seed);
             *sig = Signal::zeros(sig.len(), cfg.fs);
             ns.add_awgn(sig.samples_mut(), 0.05);
+        }
+    }
+
+    /// Render one packet's *clean* tag-side waveform (the ODE output before
+    /// any channel effect): exactly what [`Self::synth_rx`] writes into the
+    /// channel buffer past the guard pad. This is the §7.3 cacheable
+    /// quantity — it depends only on [`Self::render_fingerprint`] and the
+    /// payload, never on SNR, distance, roll, ambient light or mobility.
+    pub fn render_clean(&self, scratch: &mut PacketScratch, bits: &[bool]) -> Vec<C64> {
+        let frame = self.modulator.modulate(bits);
+        let cmds = frame.drive_commands(&self.cfg);
+        let mut wave = vec![C64::default(); frame.total_slots() * self.cfg.samples_per_slot()];
+        scratch.kernel.restore();
+        scratch.kernel.simulate_into(&cmds, self.cfg.fs, &mut wave);
+        wave
+    }
+
+    /// The unit-variance complex noise stream packet `pkt_seed` sees over a
+    /// signal of `PAD + n_wave` samples — the same samples
+    /// [`Self::add_channel_noise`] would draw, pre-scaled by σ = 1 so a
+    /// cached stream can be re-scaled to any per-point σ bit-identically
+    /// (`n·1.0 == n` exactly, and `(n·1.0)·σ == n·σ`).
+    pub fn packet_unit_noise(&self, n_wave: usize, pkt_seed: u64) -> Vec<C64> {
+        let mut ns = NoiseSource::new(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(pkt_seed));
+        (0..PAD + n_wave)
+            .map(|_| ns.complex_gaussian(1.0))
+            .collect()
+    }
+
+    /// [`Self::synth_rx`] from a cached clean render and cached unit-noise
+    /// stream: re-applies the per-point channel (pad, roll, flutter, gain)
+    /// and superimposes the per-point σ on the cached normals instead of
+    /// re-integrating the ODE and re-drawing the RNG. Bit-identical to
+    /// [`Self::synth_rx`] for matching `(render, noise, pkt_seed)`.
+    #[doc(hidden)]
+    pub fn synth_rx_renoise(
+        &self,
+        scratch: &mut PacketScratch,
+        clean: &[C64],
+        unit_noise: &[C64],
+        pkt_seed: u64,
+    ) -> Signal {
+        let cfg = &self.cfg;
+        let snr_db = self.effective_snr_db();
+        scratch.rx.resize(PAD + clean.len(), C64::default());
+        scratch.rx[..PAD].fill(self.rest_level());
+        scratch.rx[PAD..].copy_from_slice(clean);
+        self.apply_channel(&mut scratch.rx[PAD..], pkt_seed);
+        let mut sig = Signal::new(std::mem::take(&mut scratch.rx), cfg.fs);
+        if snr_db.is_finite() {
+            debug_assert_eq!(unit_noise.len(), sig.len(), "unit-noise length mismatch");
+            let sigma = sigma_for_snr(snr_db, 0.5).hypot(self.scene.ambient.residual_noise_sigma());
+            for (z, n) in sig.samples_mut().iter_mut().zip(unit_noise) {
+                *z += C64::new(n.re * sigma, n.im * sigma);
+            }
+        } else {
+            // Beyond the retro cutoff the cached render contributes nothing;
+            // replicate the live path's noise-only signal exactly.
+            let mut ns = NoiseSource::new(pkt_seed);
+            sig = Signal::zeros(sig.len(), cfg.fs);
+            ns.add_awgn(sig.samples_mut(), 0.05);
+        }
+        sig
+    }
+
+    /// One packet decoded from a cached clean render + cached unit noise:
+    /// the sweep engine's per-point fast path. Bit-identical to
+    /// [`Self::run_packet_with`] when `clean == render_clean(bits)` and
+    /// `unit_noise == packet_unit_noise(clean.len(), pkt_seed)`.
+    pub fn run_packet_renoise(
+        &self,
+        scratch: &mut PacketScratch,
+        clean: &[C64],
+        unit_noise: &[C64],
+        bits: &[bool],
+        pkt_seed: u64,
+    ) -> PacketOutcome {
+        let snr_db = self.effective_snr_db();
+        let sig = self.synth_rx_renoise(scratch, clean, unit_noise, pkt_seed);
+        let out = self.decode(&sig, bits, snr_db);
+        scratch.rx = sig.into_samples();
+        out.0
+    }
+
+    /// One packet through the end-to-end *scalar* pipeline: the allocating
+    /// reference ODE synthesis ([`Self::synth_rx_reference`]) decoded by the
+    /// all-reference-kernel receiver path
+    /// ([`Receiver::receive_window_reference`]). No cache, no fused loops,
+    /// no precomputed Grams — the sweep engine's no-cache oracle, kept
+    /// bit-identical in its decisions to the production path by the kernel
+    /// pairs' own differential tests.
+    pub fn run_packet_scalar_reference(&self, bits: &[bool], pkt_seed: u64) -> PacketOutcome {
+        let snr_db = self.effective_snr_db();
+        let sig = self.synth_rx_reference(bits, pkt_seed);
+        let spt = self.cfg.samples_per_slot();
+        match self
+            .receiver
+            .receive_window_reference(&sig, 0, PAD + 2 * spt, bits.len())
+        {
+            Ok(r) => PacketOutcome {
+                bit_errors: r.bits.iter().zip(bits).filter(|(a, b)| a != b).count(),
+                bits: bits.len(),
+                detected: true,
+                snr_db,
+            },
+            Err(RxError::NoPreamble) | Err(RxError::Truncated) => PacketOutcome {
+                bit_errors: bits.len(),
+                bits: bits.len(),
+                detected: false,
+                snr_db,
+            },
         }
     }
 
@@ -378,18 +540,17 @@ impl LinkSimulator {
     /// the packet index, so the aggregate BER is bit-for-bit identical at
     /// every thread count.
     pub fn run_ber(&mut self, n_packets: usize, payload_bytes: usize) -> f64 {
-        use rand::rngs::StdRng;
-        use rand::Rng;
-        use rand::SeedableRng;
         let _t = retroturbo_telemetry::span("sweep.run_ber");
         let this = &*self;
         let outcomes = retroturbo_runtime::par_map_seeded_with(
             this.seed.wrapping_add(1),
             (0..n_packets as u64).collect(),
             || this.make_scratch(),
-            |scratch, _, bits_seed, p| {
-                let mut rng = StdRng::seed_from_u64(bits_seed);
-                let bits: Vec<bool> = (0..payload_bytes * 8).map(|_| rng.gen()).collect();
+            |scratch, _, _bits_seed, p| {
+                // `packet_bits` re-derives `_bits_seed` = derive_seed(seed+1, p);
+                // routing through it keeps this loop and the cached-render
+                // sweep path on one payload derivation.
+                let bits = this.packet_bits(payload_bytes, p);
                 this.run_packet_core(scratch, &bits, p).0
             },
         );
@@ -417,6 +578,60 @@ mod tests {
             k_branches: 8,
             preamble_slots: 12,
             training_rounds: 6,
+        }
+    }
+
+    /// The re-noise fast path must reproduce the fused synthesis
+    /// bit-for-bit in every channel regime: static finite-SNR, mobility
+    /// flutter, and the beyond-cutoff noise-only branch.
+    #[test]
+    fn renoise_signal_bit_identical_to_fused_synthesis() {
+        let mut flutter_scene = Scene::default_at(7.0);
+        flutter_scene.mobility = HumanMobility::ThreeWalkers;
+        let scenes = vec![
+            Scene::default_at(7.0).with_roll(30.0),
+            flutter_scene,
+            Scene::default_at(2.0).with_yaw(65.0), // −inf SNR branch
+        ];
+        for (i, scene) in scenes.into_iter().enumerate() {
+            let sim = LinkSimulator::new(small_cfg(), LinkBudget::fov10(), scene, 9 + i as u64);
+            let mut scratch = sim.make_scratch();
+            for p in 0..2u64 {
+                let bits = sim.packet_bits(12, p);
+                let clean = sim.render_clean(&mut scratch, &bits);
+                let unit = sim.packet_unit_noise(clean.len(), p);
+                let live = sim.synth_rx(&mut scratch, &bits, p);
+                let mut scratch2 = sim.make_scratch();
+                let cached = sim.synth_rx_renoise(&mut scratch2, &clean, &unit, p);
+                assert_eq!(live.len(), cached.len(), "scene {i} pkt {p}");
+                for (k, (a, b)) in live.samples().iter().zip(cached.samples()).enumerate() {
+                    assert_eq!(
+                        (a.re.to_bits(), a.im.to_bits()),
+                        (b.re.to_bits(), b.im.to_bits()),
+                        "scene {i} pkt {p} sample {k} differs"
+                    );
+                }
+                scratch.give_back(live.into_samples());
+            }
+        }
+    }
+
+    /// The all-scalar pipeline (reference ODE + reference receiver kernels)
+    /// reaches the same per-packet decisions as the fused production path.
+    #[test]
+    fn scalar_reference_packet_matches_fused_outcome() {
+        for dist in [4.0, 8.0] {
+            let sim =
+                LinkSimulator::new(small_cfg(), LinkBudget::fov10(), Scene::default_at(dist), 3);
+            let mut scratch = sim.make_scratch();
+            for p in 0..2u64 {
+                let bits = sim.packet_bits(12, p);
+                let fused = sim.run_packet_with(&mut scratch, &bits, p);
+                let scalar = sim.run_packet_scalar_reference(&bits, p);
+                assert_eq!(fused.bit_errors, scalar.bit_errors, "{dist} m pkt {p}");
+                assert_eq!(fused.detected, scalar.detected, "{dist} m pkt {p}");
+                assert_eq!(fused.snr_db.to_bits(), scalar.snr_db.to_bits());
+            }
         }
     }
 

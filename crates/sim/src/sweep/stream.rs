@@ -1,0 +1,176 @@
+//! Incremental row streaming: completed sweep rows land on disk as they
+//! finish, so long `--full` runs are observable (`tail -f`) and resumable.
+//!
+//! Two formats:
+//! - **TSV** — lossless: every float is written both as its IEEE-754 bit
+//!   pattern (hex) and as a human-readable decimal. The hex columns make a
+//!   streamed file a bit-exact record that [`SweepStream::load`] can read
+//!   back to skip already-measured points on resume.
+//! - **JSON lines** — human/tool-readable, one object per row (decimal
+//!   floats only; not used for resume).
+
+use super::GridPoint;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Row payload that knows how to (de)serialize itself for streaming.
+pub trait StreamRecord: Sized {
+    /// Column names, matching [`Self::fields`] order.
+    fn columns() -> &'static [&'static str];
+    /// Lossless TSV fields (floats as `{bits:016x}` hex).
+    fn fields(&self) -> Vec<String>;
+    /// Parse fields previously written by [`Self::fields`].
+    fn parse(fields: &[&str]) -> Option<Self>;
+    /// JSON object members (no surrounding braces), human-readable floats.
+    fn json_members(&self) -> String;
+}
+
+/// On-disk format of a [`SweepStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFormat {
+    /// Lossless tab-separated values (resumable).
+    Tsv,
+    /// One JSON object per line (observability only).
+    JsonLines,
+}
+
+/// An append-as-you-go sink for sweep rows. Every row is flushed on write,
+/// so a killed run leaves a readable prefix.
+pub struct SweepStream {
+    out: BufWriter<File>,
+    format: StreamFormat,
+}
+
+impl SweepStream {
+    /// Create (truncate) a stream; TSV gets a `#`-prefixed header line.
+    pub fn create<R: StreamRecord>(path: &Path, format: StreamFormat) -> io::Result<Self> {
+        let mut s = Self {
+            out: BufWriter::new(File::create(path)?),
+            format,
+        };
+        if format == StreamFormat::Tsv {
+            writeln!(
+                s.out,
+                "#curve\tround\tseed\tx_bits\tx\t{}",
+                R::columns().join("\t")
+            )?;
+            s.out.flush()?;
+        }
+        Ok(s)
+    }
+
+    /// Open for appending (resume): no header is rewritten. If the previous
+    /// run died mid-write, its torn final row has no terminating newline;
+    /// close that line first so resumed rows never concatenate onto it (the
+    /// torn fragment then stays malformed on its own line and is simply
+    /// re-measured).
+    pub fn append(path: &Path, format: StreamFormat) -> io::Result<Self> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        if file.metadata()?.len() > 0 {
+            let mut last = [0u8; 1];
+            file.seek(SeekFrom::End(-1))?;
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+            }
+        }
+        Ok(Self {
+            out: BufWriter::new(file),
+            format,
+        })
+    }
+
+    /// Write one completed row and flush it to disk.
+    pub fn write_row<R: StreamRecord>(&mut self, p: &GridPoint, r: &R) -> io::Result<()> {
+        match self.format {
+            StreamFormat::Tsv => writeln!(
+                self.out,
+                "{}\t{}\t{:016x}\t{:016x}\t{}\t{}",
+                p.curve,
+                p.round,
+                p.seed,
+                p.x.to_bits(),
+                p.x,
+                r.fields().join("\t")
+            )?,
+            StreamFormat::JsonLines => writeln!(
+                self.out,
+                "{{\"curve\":{},\"round\":{},\"x\":{},{}}}",
+                p.curve,
+                p.round,
+                p.x,
+                r.json_members()
+            )?,
+        }
+        self.out.flush()
+    }
+
+    /// Read back a TSV stream written by [`Self::write_row`], returning the
+    /// rows in file order. Malformed trailing lines (a row cut off by a
+    /// kill) are skipped, which is exactly the resume semantics wanted: the
+    /// caller re-measures anything not fully on disk.
+    pub fn load<R: StreamRecord>(path: &Path) -> io::Result<Vec<(GridPoint, R)>> {
+        let mut rows = Vec::new();
+        for line in BufReader::new(File::open(path)?).lines() {
+            let line = line?;
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split('\t').collect();
+            if f.len() < 5 + R::columns().len() {
+                continue; // truncated row from an interrupted run
+            }
+            let (Ok(curve), Ok(round), Ok(seed), Ok(x_bits)) = (
+                f[0].parse::<usize>(),
+                f[1].parse::<usize>(),
+                u64::from_str_radix(f[2], 16),
+                u64::from_str_radix(f[3], 16),
+            ) else {
+                continue;
+            };
+            let Some(rec) = R::parse(&f[5..]) else {
+                continue;
+            };
+            rows.push((
+                GridPoint {
+                    curve,
+                    x: f64::from_bits(x_bits),
+                    seed,
+                    round,
+                },
+                rec,
+            ));
+        }
+        Ok(rows)
+    }
+
+    /// Which `(curve, x)` cells of `grid` are already present in the TSV at
+    /// `path` — the resume filter: measure only the complement. A missing
+    /// file means nothing is done yet.
+    pub fn completed(path: &Path, grid: &[GridPoint]) -> Vec<bool> {
+        let done: std::collections::HashSet<(usize, u64)> = match File::open(path) {
+            Ok(f) => BufReader::new(f)
+                .lines()
+                .map_while(Result::ok)
+                .filter(|l| !l.starts_with('#') && !l.is_empty())
+                .filter_map(|l| {
+                    let f: Vec<&str> = l.split('\t').collect();
+                    if f.len() < 5 {
+                        return None;
+                    }
+                    Some((f[0].parse().ok()?, u64::from_str_radix(f[3], 16).ok()?))
+                })
+                .collect(),
+            Err(_) => return vec![false; grid.len()],
+        };
+        grid.iter()
+            .map(|p| done.contains(&(p.curve, p.x.to_bits())))
+            .collect()
+    }
+}

@@ -1,0 +1,305 @@
+//! Sweep-engine conformance suite (oracle discipline, DESIGN.md §12):
+//!
+//! - **Differential**: the cached re-noise path must be bit-identical to the
+//!   no-cache oracle at every grid point — both against the fused pipeline
+//!   and against the end-to-end scalar reference.
+//! - **Refinement**: refined runs are supersets of the coarse grid (coarse
+//!   rows bitwise unchanged, insertions bounded by the budget and strictly
+//!   inside straddling gaps).
+//! - **Determinism**: identical output at 1/2/8 worker threads, including
+//!   the refinement points.
+//! - **Streaming**: rows stream losslessly to TSV and come back bit-exact;
+//!   a truncated stream resumes by measuring only the complement.
+//! - **Fixture**: the cached and uncached refined sweeps both match ONE
+//!   committed byte-exact fixture (`tests/fixtures/sweep_refined.txt`);
+//!   regenerate with `SWEEP_ENGINE_REGEN=1` after intentional changes.
+
+use std::path::{Path, PathBuf};
+
+use retroturbo_core::PhyConfig;
+use retroturbo_runtime::with_threads;
+use retroturbo_sim::sweep::stream::{StreamFormat, SweepStream};
+use retroturbo_sim::sweep::workloads::{BerOut, EmuSweep, FieldOracle, FieldSweep};
+use retroturbo_sim::{
+    EmulatedLink, GridPoint, LinkBudget, LinkSimulator, RefineConfig, Scene, SweepEngine,
+};
+
+/// The fig16a-shaped field workload: curve 0 = 4 kbps, curve 1 = 8 kbps,
+/// x = distance, default scene.
+fn field_workload(
+    n_packets: usize,
+    payload_bytes: usize,
+    seed: u64,
+    oracle: FieldOracle,
+) -> FieldSweep<impl Fn(usize, f64) -> LinkSimulator + Sync> {
+    FieldSweep {
+        make: move |curve, d| {
+            let cfg = if curve == 0 {
+                PhyConfig::default_4kbps()
+            } else {
+                PhyConfig::default_8kbps()
+            };
+            LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(d), seed)
+        },
+        n_packets,
+        payload_bytes,
+        oracle,
+    }
+}
+
+fn field_grid(distances: &[f64], seed: u64) -> Vec<GridPoint> {
+    let mut grid = Vec::new();
+    for curve in 0..2 {
+        for &d in distances {
+            grid.push(GridPoint::new(curve, d, seed));
+        }
+    }
+    grid
+}
+
+/// Bit-exact serialisation of engine rows (order-sensitive).
+fn canon(rows: &[(GridPoint, BerOut)]) -> String {
+    rows.iter()
+        .map(|(p, o)| {
+            format!(
+                "curve={}|round={}|x={:016x}|ber={:016x}|snr={:016x}\n",
+                p.curve,
+                p.round,
+                p.x.to_bits(),
+                o.ber.to_bits(),
+                o.snr_db.to_bits()
+            )
+        })
+        .collect()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// The tentpole guarantee: for the full-ODE field workload, re-noising the
+/// cached clean renders is bit-identical at every grid point to BOTH
+/// no-cache oracles — the fused production pipeline and the end-to-end
+/// scalar reference.
+#[test]
+fn field_cache_matches_fused_and_scalar_oracles() {
+    let distances = [4.0, 8.0];
+    let seed = 11;
+    let cached = SweepEngine::new(seed).run(
+        &field_workload(2, 16, seed, FieldOracle::Fused),
+        field_grid(&distances, seed),
+    );
+    let fused = SweepEngine::new(seed).no_cache().run(
+        &field_workload(2, 16, seed, FieldOracle::Fused),
+        field_grid(&distances, seed),
+    );
+    let scalar = SweepEngine::new(seed).no_cache().run(
+        &field_workload(2, 16, seed, FieldOracle::Scalar),
+        field_grid(&distances, seed),
+    );
+    assert_eq!(canon(&cached), canon(&fused), "renoise vs fused oracle");
+    assert_eq!(canon(&cached), canon(&scalar), "renoise vs scalar oracle");
+}
+
+/// Same guarantee for the emulated (§7.3) workload: every SNR point of a
+/// curve re-noises one cached render set, bit-identical to live synthesis.
+#[test]
+fn emulated_cache_matches_no_cache_oracle() {
+    let cfg = PhyConfig {
+        l_order: 4,
+        pqam_order: 16,
+        t_slot: 0.5e-3,
+        fs: 40_000.0,
+        v_memory: 3,
+        k_branches: 8,
+        preamble_slots: 12,
+        training_rounds: 2,
+    };
+    let workload = EmuSweep {
+        make: move |curve: usize, snr: f64| EmulatedLink::new(cfg, snr, 7 + curve as u64),
+        n_packets: 2,
+        payload_bytes: 16,
+        data_seed: 42,
+    };
+    let mut grid = Vec::new();
+    for curve in 0..2 {
+        for snr in [12.0, 20.0, 50.0] {
+            grid.push(GridPoint::new(curve, snr, 7));
+        }
+    }
+    let cached = SweepEngine::new(7).run(&workload, grid.clone());
+    let live = SweepEngine::new(7).no_cache().run(&workload, grid);
+    assert_eq!(canon(&cached), canon(&live));
+}
+
+/// Refined runs are supersets of the coarse grid: the coarse rows come
+/// first and are bitwise unchanged, and every insertion is bounded by the
+/// budget, tagged with its round, and strictly inside a coarse gap.
+#[test]
+fn refinement_is_a_bounded_superset_of_the_coarse_grid() {
+    let distances = [4.0, 14.0];
+    let seed = 7;
+    let w = field_workload(2, 16, seed, FieldOracle::Fused);
+    let coarse = SweepEngine::new(seed).run(&w, field_grid(&distances, seed));
+    let max_points = 3;
+    let refined = SweepEngine::new(seed)
+        .with_refinement(RefineConfig::cliff_1pct(1.0, max_points))
+        .run(&w, field_grid(&distances, seed));
+
+    assert!(refined.len() > coarse.len(), "no refinement happened");
+    assert_eq!(
+        canon(&refined[..coarse.len()]),
+        canon(&coarse),
+        "coarse prefix changed under refinement"
+    );
+    let inserted = &refined[coarse.len()..];
+    assert!(inserted.len() <= max_points, "budget exceeded");
+    for (p, _) in inserted {
+        assert!(p.round >= 1, "insertion not tagged with its round");
+        assert!(p.curve < 2);
+        assert!(
+            p.x > distances[0] && p.x < distances[1],
+            "refined x {} outside the coarse span",
+            p.x
+        );
+    }
+}
+
+/// The full engine output — including refinement points and their order —
+/// is invariant across 1, 2 and 8 worker threads.
+#[test]
+fn engine_output_thread_invariant_with_refinement() {
+    let run = || {
+        let seed = 7;
+        let w = field_workload(2, 16, seed, FieldOracle::Fused);
+        canon(
+            &SweepEngine::new(seed)
+                .with_refinement(RefineConfig::cliff_1pct(1.0, 3))
+                .run(&w, field_grid(&[4.0, 14.0], seed)),
+        )
+    };
+    let t1 = with_threads(1, run);
+    let t2 = with_threads(2, run);
+    let t8 = with_threads(8, run);
+    assert_eq!(t1, t2, "1 vs 2 threads");
+    assert_eq!(t1, t8, "1 vs 8 threads");
+}
+
+/// TSV streaming is lossless: rows stream out as they complete and load
+/// back bit-exact; `completed` sees the full grid afterwards.
+#[test]
+fn tsv_stream_roundtrips_bit_exact() {
+    let path = tmp_path("sweep_stream_roundtrip.tsv");
+    let seed = 11;
+    let w = field_workload(2, 16, seed, FieldOracle::Fused);
+    let grid = field_grid(&[4.0, 8.0], seed);
+    let mut stream = SweepStream::create::<BerOut>(&path, StreamFormat::Tsv).unwrap();
+    let rows = SweepEngine::new(seed).run_streaming(&w, grid.clone(), &mut |p, o| {
+        stream.write_row(p, o).unwrap();
+    });
+    drop(stream);
+    let loaded = SweepStream::load::<BerOut>(&path).unwrap();
+    assert_eq!(loaded.len(), rows.len());
+    assert_eq!(canon(&loaded), canon(&rows), "stream round-trip drifted");
+    assert!(
+        SweepStream::completed(&path, &grid).iter().all(|&d| d),
+        "completed() missed streamed rows"
+    );
+}
+
+/// Resume semantics: a stream cut off mid-run (last line truncated) yields
+/// its intact prefix; `completed` drives measuring only the complement, and
+/// appending those rows reconstructs the full result set.
+#[test]
+fn truncated_stream_resumes_by_measuring_the_complement() {
+    let path = tmp_path("sweep_stream_resume.tsv");
+    let seed = 11;
+    let w = field_workload(2, 16, seed, FieldOracle::Fused);
+    let grid = field_grid(&[4.0, 8.0], seed);
+    let full = SweepEngine::new(seed).run(&w, grid.clone());
+
+    // Simulate a kill after one complete row plus a torn partial write.
+    let mut stream = SweepStream::create::<BerOut>(&path, StreamFormat::Tsv).unwrap();
+    stream.write_row(&full[0].0, &full[0].1).unwrap();
+    drop(stream);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(b"1\t0\tdeadbeef"); // torn row, no newline
+    std::fs::write(&path, bytes).unwrap();
+
+    let done = SweepStream::completed(&path, &grid);
+    assert_eq!(done, vec![true, false, false, false]);
+
+    let remaining: Vec<GridPoint> = grid
+        .iter()
+        .zip(&done)
+        .filter(|(_, &d)| !d)
+        .map(|(p, _)| *p)
+        .collect();
+    let mut stream = SweepStream::append(&path, StreamFormat::Tsv).unwrap();
+    SweepEngine::new(seed).run_streaming(&w, remaining, &mut |p, o| {
+        stream.write_row(p, o).unwrap();
+    });
+    drop(stream);
+
+    let resumed = SweepStream::load::<BerOut>(&path).unwrap();
+    assert_eq!(canon(&resumed), canon(&full), "resumed run diverged");
+}
+
+/// JSON-lines streaming emits one well-formed object per row.
+#[test]
+fn jsonl_stream_emits_one_object_per_row() {
+    let path = tmp_path("sweep_stream.jsonl");
+    let seed = 11;
+    let w = field_workload(2, 16, seed, FieldOracle::Fused);
+    let grid = field_grid(&[4.0], seed);
+    let mut stream = SweepStream::create::<BerOut>(&path, StreamFormat::JsonLines).unwrap();
+    let rows = SweepEngine::new(seed).run_streaming(&w, grid, &mut |p, o| {
+        stream.write_row(p, o).unwrap();
+    });
+    drop(stream);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), rows.len());
+    for l in lines {
+        assert!(l.starts_with("{\"curve\":") && l.ends_with('}'), "{l}");
+        assert!(l.contains("\"ber\":") && l.contains("\"snr_db\":"), "{l}");
+    }
+}
+
+/// Committed-fixture pin: the refined sweep, cached AND uncached, matches
+/// `tests/fixtures/sweep_refined.txt` byte-for-byte.
+#[test]
+fn refined_sweep_matches_committed_fixture_in_both_cache_modes() {
+    let seed = 7;
+    let w = field_workload(2, 16, seed, FieldOracle::Fused);
+    let refine = RefineConfig::cliff_1pct(1.0, 3);
+    let grid = || field_grid(&[4.0, 14.0], seed);
+    let cached = canon(
+        &SweepEngine::new(seed)
+            .with_refinement(refine)
+            .run(&w, grid()),
+    );
+    let uncached = canon(
+        &SweepEngine::new(seed)
+            .no_cache()
+            .with_refinement(refine)
+            .run(&w, grid()),
+    );
+    assert_eq!(cached, uncached, "cache-on vs cache-off diverged");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sweep_refined.txt");
+    if std::env::var_os("SWEEP_ENGINE_REGEN").is_some() {
+        std::fs::write(&path, &cached).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with SWEEP_ENGINE_REGEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(cached, want, "refined sweep drifted from committed fixture");
+}

@@ -143,6 +143,34 @@ fn robustness_canonical() -> String {
     out
 }
 
+/// A refined engine sweep — the workload whose hot path carries every
+/// `sweep.*` counter and span (`sweep.cache_hits/misses/points/
+/// refined_points`, `sweep.run/render/point/renoise`) — serialised
+/// bit-exactly, including the refinement insertions and their rounds.
+fn sweep_canonical() -> String {
+    use retroturbo_sim::experiments::field::fig16a_ber_vs_distance_refined;
+    use retroturbo_sim::RefineConfig;
+    let pts = with_threads(2, || {
+        fig16a_ber_vs_distance_refined(
+            &[4.0, 14.0],
+            Effort::Quick,
+            7,
+            RefineConfig::cliff_1pct(2.0, 4),
+        )
+    });
+    let mut out = String::new();
+    for p in &pts {
+        out.push_str(&format!(
+            "sweep|{}|x={:016x}|ber={:016x}|snr={:016x}\n",
+            p.label,
+            p.x.to_bits(),
+            p.ber.to_bits(),
+            p.snr_db.to_bits()
+        ));
+    }
+    out
+}
+
 /// The instrumented DFE kernel (`dfe.slots` / `dfe.extensions_scored`
 /// counters and the `dfe.score` span sit directly in the beam hot loop),
 /// serialised bit-exactly: decided symbols and the winning branch's
@@ -206,6 +234,15 @@ fn robustness_output_matches_committed_fixture() {
     assert_matches_fixture(&robustness_canonical(), "telemetry_inert_robustness.txt");
 }
 
+/// Engine-sweep output (cache, refinement, streaming counters live on this
+/// path) must match the committed fixture byte-for-byte in BOTH feature
+/// configurations (CI runs each).
+#[test]
+fn sweep_engine_output_matches_committed_fixture() {
+    let _g = registry_guard();
+    assert_matches_fixture(&sweep_canonical(), "telemetry_inert_sweep.txt");
+}
+
 /// DFE beam output must match the committed fixture byte-for-byte in BOTH
 /// feature configurations (CI runs each): the counters and span in the
 /// scoring hot loop observe the beam without perturbing it.
@@ -253,6 +290,10 @@ fn telemetry_fingerprint_is_thread_invariant() {
     let f4 = fingerprint_at(4);
     if telemetry::enabled() {
         assert!(!f1.is_empty(), "telemetry build produced no metrics");
+        assert!(
+            f1.contains("sweep."),
+            "engine-backed fig16a emitted no sweep.* metrics:\n{f1}"
+        );
     } else {
         assert!(f1.is_empty(), "no-op build produced metrics");
     }

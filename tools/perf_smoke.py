@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""Warn-only perf smoke report over BENCH_kernels.json.
+"""Warn-only perf smoke report over BENCH_kernels.json and BENCH_sweeps.json.
 
-Prints a table of every kernel row (ns/iter, ns/symbol, threads, speedup)
-and flags optimized/reference pairs whose speedup fell below an advisory
-floor. Shared CI runners are far too noisy for a hard perf gate, so this
-script NEVER fails on timing: correctness gating is the bench binary's own
-checksum-divergence exit (it returns nonzero before this script runs if any
-optimized kernel's output diverges from its reference pair).
+Prints a table of every kernel row (ns/iter, ns/symbol, ns/point, threads,
+speedup) and flags optimized/reference pairs whose speedup fell below an
+advisory floor. If a sweep benchmark file is present (second argument, or
+`BENCH_sweeps.json` next to the kernels file), its per-sweep mode table is
+printed too, with its own advisory floors. Shared CI runners are far too
+noisy for a hard perf gate, so this script NEVER fails on timing:
+correctness gating is the bench binaries' own checksum-divergence exit
+(they return nonzero before this script runs if any optimized path's output
+diverges from its reference).
 
-Exit status: 0 always, except when the JSON file is missing or malformed
-(which means the bench step itself broke).
+Exit status: 0 always, except when the kernels JSON file is missing or
+malformed (which means the bench step itself broke). A missing sweeps file
+is skipped silently; a malformed one warns.
 
-Usage: tools/perf_smoke.py [BENCH_kernels.json]
+Usage: tools/perf_smoke.py [BENCH_kernels.json] [BENCH_sweeps.json]
 """
 
 import json
+import os
 import sys
 
 # Advisory floors for the tracked reference/optimized pairs (PR acceptance
@@ -23,27 +28,40 @@ ADVISORY_FLOORS = {
     "dfe_equalize_k16_gram": 2.0,
     "preamble_search_gram": 2.0,
     "online_training_precomputed": 4.0,
+    "waveform_renoise_cached": 10.0,
+}
+
+# Advisory floors for (sweep, mode) rows of BENCH_sweeps.json: speedup is
+# measured against the sweep's baseline mode (the scalar oracle for field
+# sweeps, the no-cache fused driver for emulated sweeps).
+SWEEP_ADVISORY_FLOORS = {
+    ("fig16a_quick", "engine_cached"): 3.0,
+    ("fig16a_full", "engine_cached"): 3.0,
 }
 
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
+def report_kernels(path):
     try:
         with open(path) as f:
             rows = json.load(f)
     except (OSError, ValueError) as e:
         print(f"perf-smoke: cannot read {path}: {e}", file=sys.stderr)
-        return 1
+        return 1, []
 
-    header = f"{'kernel':<36} {'ns/iter':>14} {'ns/symbol':>12} {'thr':>4} {'speedup':>8}"
+    header = (
+        f"{'kernel':<36} {'ns/iter':>14} {'ns/symbol':>12} "
+        f"{'ns/point':>14} {'thr':>4} {'speedup':>8}"
+    )
     print(header)
     print("-" * len(header))
     warnings = []
     for r in rows:
         ns_sym = r.get("ns_per_symbol")
         ns_sym_s = f"{ns_sym:>12.1f}" if isinstance(ns_sym, (int, float)) else f"{'-':>12}"
+        ns_pt = r.get("ns_per_point")
+        ns_pt_s = f"{ns_pt:>14.1f}" if isinstance(ns_pt, (int, float)) else f"{'-':>14}"
         print(
-            f"{r['kernel']:<36} {r['ns_per_iter']:>14.1f} {ns_sym_s} "
+            f"{r['kernel']:<36} {r['ns_per_iter']:>14.1f} {ns_sym_s} {ns_pt_s} "
             f"{r.get('threads', 1):>4} {r.get('speedup', 1.0):>8.3f}"
         )
         floor = ADVISORY_FLOORS.get(r["kernel"])
@@ -53,6 +71,54 @@ def main() -> int:
                 f"{r.get('speedup', 0.0):.2f}x below advisory floor {floor:.1f}x "
                 f"(warn-only; runner noise is expected)"
             )
+    return 0, warnings
+
+
+def report_sweeps(path):
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except OSError:
+        return []  # no sweep benchmarks in this run
+    except ValueError as e:
+        return [f"perf-smoke: WARNING: cannot parse {path}: {e}"]
+
+    print()
+    header = (
+        f"{'sweep':<16} {'mode':<16} {'thr':>4} {'points':>7} "
+        f"{'ms_total':>10} {'ns/point':>14} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    warnings = []
+    for r in rows:
+        print(
+            f"{r.get('sweep', '?'):<16} {r.get('mode', '?'):<16} "
+            f"{r.get('threads', 1):>4} {r.get('points', 0):>7} "
+            f"{r.get('ms_total', 0.0):>10.1f} {r.get('ns_per_point', 0.0):>14.0f} "
+            f"{r.get('speedup', 1.0):>8.3f}"
+        )
+        floor = SWEEP_ADVISORY_FLOORS.get((r.get("sweep"), r.get("mode")))
+        if floor is not None and r.get("speedup", 0.0) < floor:
+            warnings.append(
+                f"perf-smoke: WARNING: {r.get('sweep')}/{r.get('mode')} speedup "
+                f"{r.get('speedup', 0.0):.2f}x below advisory floor {floor:.1f}x "
+                f"(warn-only; runner noise is expected)"
+            )
+    return warnings
+
+
+def main() -> int:
+    kernels_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
+    sweeps_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(kernels_path) or ".", "BENCH_sweeps.json")
+    )
+    status, warnings = report_kernels(kernels_path)
+    if status != 0:
+        return status
+    warnings += report_sweeps(sweeps_path)
     print()
     for w in warnings:
         print(w)
