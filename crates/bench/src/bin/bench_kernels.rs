@@ -3,9 +3,13 @@
 //! solve, the SoA panel ODE, the Gram preamble search, the fused packet
 //! pipeline) against their retained reference implementations, plus the
 //! parallel sweep runtime at 1 vs N threads, and writes
-//! `BENCH_kernels.json` — one record per measurement with
-//! `{kernel, ns_per_iter, ns_per_symbol, ns_per_point, threads, speedup}` —
-//! to seed the perf trajectory. `ns_per_symbol` normalizes frame-scaling
+//! `BENCH_kernels.json` — a `meta` provenance block (default backend, CPU
+//! features) plus one record per measurement with `{kernel, backend,
+//! ns_per_iter, ns_per_symbol, ns_per_point, threads, speedup}` —
+//! to seed the perf trajectory. Backend-tier rows (`*_simd`, `*_f32`) time
+//! the ported kernels through the explicit AVX2 / reduced-precision tiers;
+//! `_simd` rows are checksum-gated against scalar and skipped on hosts
+//! without SIMD support. `ns_per_symbol` normalizes frame-scaling
 //! kernels (DFE, packet pipeline) by their payload symbol count and
 //! `ns_per_point` normalizes sweep entries by their grid-point count, so
 //! trajectories stay comparable if a PR changes the benchmark workload
@@ -28,8 +32,9 @@ use retroturbo_bench::banner;
 use retroturbo_coding::RsCode;
 use retroturbo_core::training::{OfflineTraining, OnlineTrainer};
 use retroturbo_core::{Equalizer, Modulator, PhyConfig, PreambleDetector, TagModel};
+use retroturbo_dsp::backend::{self, C32};
 use retroturbo_dsp::noise::NoiseSource;
-use retroturbo_dsp::{Signal, C64};
+use retroturbo_dsp::{Backend, Signal, C64};
 use retroturbo_lcm::fingerprint::{relative_error, relative_error_with_energy};
 use retroturbo_lcm::{FingerprintSet, Heterogeneity, LcParams, Panel, PanelKernel};
 use retroturbo_runtime::with_threads;
@@ -86,6 +91,8 @@ fn time_pair_ns<A: FnMut(), B: FnMut()>(
 /// schema contract consumed by `tools/perf_smoke.py`.
 struct Record {
     kernel: &'static str,
+    /// Kernel backend tier this row ran on (`"scalar"`, `"simd"`, `"f32"`).
+    backend: &'static str,
     ns_per_iter: f64,
     /// Per-payload-symbol normalization (`ns_per_iter / symbols`) for
     /// kernels whose work scales with a frame's payload; `None` (emitted as
@@ -130,6 +137,25 @@ fn main() {
         "bench-kernels",
         "hot-kernel before/after timings -> BENCH_kernels.json",
     );
+    // Pin the process-default backend to Scalar so every legacy row keeps
+    // measuring exactly what it measured before the backend layer existed
+    // (and stays comparable across the committed baselines). The SIMD / F32
+    // rows below opt in per object via `with_backend`. A pre-set
+    // `RETROTURBO_BACKEND` (CI matrix legs) wins over this pin.
+    let forced = if std::env::var("RETROTURBO_BACKEND").is_ok() {
+        Backend::detect()
+    } else {
+        let _ = Backend::force(Backend::Scalar);
+        Backend::detect()
+    };
+    let simd_rows = backend::simd_available();
+    if !simd_rows {
+        eprintln!("# no SIMD support on this host: skipping simd-tier rows");
+    }
+    // Legacy rows run on whatever the process default resolved to — label
+    // them honestly so a `RETROTURBO_BACKEND=simd` CI leg is distinguishable
+    // from the scalar baseline in the archived JSON.
+    let default_label = forced.label();
     // CI smoke mode: fewer repetitions, same pairs and checksums.
     let quick = std::env::var("BENCH_KERNELS_QUICK").is_ok();
     let reps = if quick { 3 } else { 9 };
@@ -192,6 +218,7 @@ fn main() {
         );
         records.push(Record {
             kernel: kernel_ref,
+            backend: default_label,
             ns_per_iter: dfe_ref,
             ns_per_symbol: Some(dfe_ref / payload_syms),
             ns_per_point: None,
@@ -200,11 +227,49 @@ fn main() {
         });
         records.push(Record {
             kernel: kernel_opt,
+            backend: default_label,
             ns_per_iter: dfe_new,
             ns_per_symbol: Some(dfe_new / payload_syms),
             ns_per_point: None,
             threads: 1,
             speedup: dfe_ref / dfe_new,
+        });
+    }
+
+    // --- DFE: explicit-SIMD lane scoring vs the scalar Gram path ----------
+    // The Simd tier must decide every payload symbol bit-identically to the
+    // scalar Gram path (which the loop above already proved against the
+    // oracle), so the gate here is transitive to the reference.
+    if simd_rows {
+        let eq_s = Equalizer::new(cfg)
+            .with_branches(16)
+            .with_backend(Backend::Scalar);
+        let eq_v = Equalizer::new(cfg)
+            .with_branches(16)
+            .with_backend(Backend::Simd);
+        let a = eq_s.equalize(&wave, &model, &known, frame.payload_slots);
+        let b = eq_v.equalize(&wave, &model, &known, frame.payload_slots);
+        if checksum_symbols(&a) != checksum_symbols(&b) {
+            diverged.push("dfe_decisions_k16_simd".into());
+        }
+        let (dfe_s, dfe_v) = time_pair_ns(
+            3,
+            reps,
+            || {
+                std::hint::black_box(eq_s.equalize(&wave, &model, &known, frame.payload_slots));
+            },
+            || {
+                std::hint::black_box(eq_v.equalize(&wave, &model, &known, frame.payload_slots));
+            },
+        );
+        records.push(Record {
+            kernel: "dfe_equalize_k16_simd",
+            backend: "simd",
+            ns_per_iter: dfe_v,
+            ns_per_symbol: Some(dfe_v / payload_syms),
+            ns_per_point: None,
+            threads: 1,
+            speedup: dfe_s / dfe_v,
         });
     }
 
@@ -230,6 +295,7 @@ fn main() {
     );
     records.push(Record {
         kernel: "fingerprint_relative_error_reference",
+        backend: default_label,
         ns_per_iter: fp_ref,
         ns_per_symbol: None,
         ns_per_point: None,
@@ -238,6 +304,7 @@ fn main() {
     });
     records.push(Record {
         kernel: "fingerprint_relative_error_precomputed",
+        backend: default_label,
         ns_per_iter: fp_new,
         ns_per_symbol: None,
         ns_per_point: None,
@@ -268,6 +335,7 @@ fn main() {
     );
     records.push(Record {
         kernel: "online_training_reference",
+        backend: default_label,
         ns_per_iter: tr_ref,
         ns_per_symbol: None,
         ns_per_point: None,
@@ -276,12 +344,44 @@ fn main() {
     });
     records.push(Record {
         kernel: "online_training_precomputed",
+        backend: default_label,
         ns_per_iter: tr_new,
         ns_per_symbol: None,
         ns_per_point: None,
         threads: 1,
         speedup: tr_ref / tr_new,
     });
+
+    // --- Online training: SIMD Gram accumulation vs scalar ----------------
+    // TagModel has no PartialEq; gating on the rendered response of the
+    // trained model compares everything the receiver can observe.
+    if simd_rows {
+        let tr_v = OnlineTrainer::new(cfg, &offline).with_backend(Backend::Simd);
+        let ma = trainer.train(&rx);
+        let mb = tr_v.train(&rx);
+        if checksum_c64(&ma.render_levels(&levels)) != checksum_c64(&mb.render_levels(&levels)) {
+            diverged.push("online_training_simd".into());
+        }
+        let (tn_s, tn_v) = time_pair_ns(
+            3,
+            reps,
+            || {
+                std::hint::black_box(trainer.train(&rx));
+            },
+            || {
+                std::hint::black_box(tr_v.train(&rx));
+            },
+        );
+        records.push(Record {
+            kernel: "online_training_simd",
+            backend: "simd",
+            ns_per_iter: tn_v,
+            ns_per_symbol: None,
+            ns_per_point: None,
+            threads: 1,
+            speedup: tn_s / tn_v,
+        });
+    }
 
     // --- Panel ODE: SoA kernel vs scalar reference loop -------------------
     // The pipeline's usage pattern on each side: the reference path clones
@@ -324,6 +424,7 @@ fn main() {
     );
     records.push(Record {
         kernel: "panel_simulate_reference",
+        backend: default_label,
         ns_per_iter: panel_ref,
         ns_per_symbol: None,
         ns_per_point: None,
@@ -332,12 +433,70 @@ fn main() {
     });
     records.push(Record {
         kernel: "panel_simulate_soa",
+        backend: default_label,
         ns_per_iter: panel_soa,
         ns_per_symbol: None,
         ns_per_point: None,
         threads: 1,
         speedup: panel_ref / panel_soa,
     });
+
+    // --- Panel ODE: explicit backend tiers over the same drive ------------
+    if simd_rows {
+        let mut kv = PanelKernel::from_panel(&pristine).with_backend(Backend::Simd);
+        let mut v_out = vec![C64::default(); n_wave];
+        kv.restore();
+        kv.simulate_into(&cmds, cfg.fs, &mut v_out);
+        kernel.restore();
+        kernel.simulate_into(&cmds, cfg.fs, &mut soa_out);
+        if checksum_c64(&soa_out) != checksum_c64(&v_out) {
+            diverged.push("panel_ode_simd".into());
+        }
+        let (p_s, p_v) = time_pair_ns(
+            if quick { 1 } else { 3 },
+            reps,
+            || {
+                kernel.restore();
+                kernel.simulate_into(&cmds, cfg.fs, &mut soa_out);
+                std::hint::black_box(&soa_out);
+            },
+            || {
+                kv.restore();
+                kv.simulate_into(&cmds, cfg.fs, &mut v_out);
+                std::hint::black_box(&v_out);
+            },
+        );
+        records.push(Record {
+            kernel: "panel_ode_simd",
+            backend: "simd",
+            ns_per_iter: p_v,
+            ns_per_symbol: None,
+            ns_per_point: None,
+            threads: 1,
+            speedup: p_s / p_v,
+        });
+    }
+    {
+        // F32 tier: reduced precision by design, so no bit gate here — its
+        // accuracy contract is the end-to-end BER-delta test in the sim
+        // crate. Speedup is against the scalar SoA kernel timed above.
+        let mut k32 = PanelKernel::from_panel(&pristine).with_backend(Backend::F32);
+        let mut out32 = vec![C64::default(); n_wave];
+        let p32 = time_ns(if quick { 1 } else { 3 }, reps, || {
+            k32.restore();
+            k32.simulate_into(&cmds, cfg.fs, &mut out32);
+            std::hint::black_box(&out32);
+        });
+        records.push(Record {
+            kernel: "panel_ode_f32",
+            backend: "f32",
+            ns_per_iter: p32,
+            ns_per_symbol: None,
+            ns_per_point: None,
+            threads: 1,
+            speedup: panel_soa / p32,
+        });
+    }
 
     // --- Preamble search: precomputed Gram vs per-offset lstsq ------------
     let detector = PreambleDetector::new(&cfg, &model);
@@ -368,6 +527,7 @@ fn main() {
     );
     records.push(Record {
         kernel: "preamble_search_reference",
+        backend: default_label,
         ns_per_iter: pre_ref,
         ns_per_symbol: None,
         ns_per_point: None,
@@ -376,12 +536,189 @@ fn main() {
     });
     records.push(Record {
         kernel: "preamble_search_gram",
+        backend: default_label,
         ns_per_iter: pre_gram,
         ns_per_symbol: None,
         ns_per_point: None,
         threads: 1,
         speedup: pre_ref / pre_gram,
     });
+
+    // --- Gram fit: backend tiers of the preamble search -------------------
+    // The preamble search is a pure loop over `WidelyLinearGram::fit`, so
+    // timing `detect_in` per tier times the fused fit + solve kernel.
+    if simd_rows {
+        let det_s = PreambleDetector::new(&cfg, &model).with_backend(Backend::Scalar);
+        let det_v = PreambleDetector::new(&cfg, &model).with_backend(Backend::Simd);
+        let a = det_s.detect_in(&rx_sig, 0, search_to);
+        let b = det_v.detect_in(&rx_sig, 0, search_to);
+        let same = match (&a, &b) {
+            (Some(x), Some(y)) => x.offset == y.offset && x.score.to_bits() == y.score.to_bits(),
+            (None, None) => true,
+            _ => false,
+        };
+        if !same {
+            diverged.push("gram_fit_simd".into());
+        }
+        let (g_s, g_v) = time_pair_ns(
+            if quick { 1 } else { 3 },
+            reps,
+            || {
+                std::hint::black_box(det_s.detect_in(&rx_sig, 0, search_to));
+            },
+            || {
+                std::hint::black_box(det_v.detect_in(&rx_sig, 0, search_to));
+            },
+        );
+        records.push(Record {
+            kernel: "gram_fit_simd",
+            backend: "simd",
+            ns_per_iter: g_v,
+            ns_per_symbol: None,
+            ns_per_point: None,
+            threads: 1,
+            speedup: g_s / g_v,
+        });
+    }
+    {
+        // F32 fit: must still land on the same sample offset (a decision,
+        // not a bit pattern); the score itself may drift in low bits.
+        let det32 = PreambleDetector::new(&cfg, &model).with_backend(Backend::F32);
+        let a = detector.detect_in(&rx_sig, 0, search_to);
+        let b = det32.detect_in(&rx_sig, 0, search_to);
+        let same_offset = match (&a, &b) {
+            (Some(x), Some(y)) => x.offset == y.offset,
+            (None, None) => true,
+            _ => false,
+        };
+        if !same_offset {
+            diverged.push("gram_fit_f32_offset".into());
+        }
+        let g32 = time_ns(if quick { 1 } else { 3 }, reps, || {
+            std::hint::black_box(det32.detect_in(&rx_sig, 0, search_to));
+        });
+        records.push(Record {
+            kernel: "gram_fit_f32",
+            backend: "f32",
+            ns_per_iter: g32,
+            ns_per_symbol: None,
+            ns_per_point: None,
+            threads: 1,
+            speedup: pre_gram / g32,
+        });
+    }
+
+    // --- Filter chain: FIR + biquad front end, per backend tier -----------
+    // Direct `backend::*` calls with an explicit tier (the `Fir`/`Biquad`
+    // wrappers dispatch on the pinned process default). The chain shape
+    // mirrors the reader front end: one narrow FIR pass then one biquad
+    // smoothing pass over the same frame; the decimator is timed separately
+    // below because the F32 tier has no decimate variant.
+    {
+        use retroturbo_dsp::filter::{Biquad, Fir};
+        let fir = Fir::lowpass(4_000.0, cfg.fs, 63);
+        let coeffs = Biquad::lowpass(3_000.0, 0.707, cfg.fs).coeffs();
+        let d = fir.group_delay();
+        let n = wave.len();
+        let mut y_fir = vec![C64::default(); n];
+        let mut y_bq = vec![C64::default(); n];
+        backend::fir_filter_into(Backend::Scalar, fir.taps(), &wave, d, &mut y_fir);
+        backend::biquad_filter_into(Backend::Scalar, &coeffs, &wave, &mut y_bq);
+        let cs_fir = checksum_c64(&y_fir);
+        let cs_bq = checksum_c64(&y_bq);
+        let chain_scalar = time_ns(if quick { 2 } else { 5 }, reps, || {
+            backend::fir_filter_into(Backend::Scalar, fir.taps(), &wave, d, &mut y_fir);
+            backend::biquad_filter_into(Backend::Scalar, &coeffs, &wave, &mut y_bq);
+            std::hint::black_box((&y_fir, &y_bq));
+        });
+        records.push(Record {
+            kernel: "filter_chain",
+            backend: "scalar",
+            ns_per_iter: chain_scalar,
+            ns_per_symbol: None,
+            ns_per_point: None,
+            threads: 1,
+            speedup: 1.0,
+        });
+        if simd_rows {
+            backend::fir_filter_into(Backend::Simd, fir.taps(), &wave, d, &mut y_fir);
+            backend::biquad_filter_into(Backend::Simd, &coeffs, &wave, &mut y_bq);
+            if checksum_c64(&y_fir) != cs_fir || checksum_c64(&y_bq) != cs_bq {
+                diverged.push("filter_chain_simd".into());
+            }
+            let chain_simd = time_ns(if quick { 2 } else { 5 }, reps, || {
+                backend::fir_filter_into(Backend::Simd, fir.taps(), &wave, d, &mut y_fir);
+                backend::biquad_filter_into(Backend::Simd, &coeffs, &wave, &mut y_bq);
+                std::hint::black_box((&y_fir, &y_bq));
+            });
+            records.push(Record {
+                kernel: "filter_chain_simd",
+                backend: "simd",
+                ns_per_iter: chain_simd,
+                ns_per_symbol: None,
+                ns_per_point: None,
+                threads: 1,
+                speedup: chain_scalar / chain_simd,
+            });
+        }
+        {
+            let taps32 = fir.taps_f32();
+            let mut x32: Vec<C32> = Vec::new();
+            backend::narrow_c32(&wave, &mut x32);
+            let mut y32_fir = vec![C32::default(); n];
+            let mut y32_bq = vec![C32::default(); n];
+            let chain_f32 = time_ns(if quick { 2 } else { 5 }, reps, || {
+                backend::fir_filter_f32_into(&taps32, &x32, d, &mut y32_fir);
+                backend::biquad_filter_f32_into(&coeffs, &x32, &mut y32_bq);
+                std::hint::black_box((&y32_fir, &y32_bq));
+            });
+            records.push(Record {
+                kernel: "filter_chain_f32",
+                backend: "f32",
+                ns_per_iter: chain_f32,
+                ns_per_symbol: None,
+                ns_per_point: None,
+                threads: 1,
+                speedup: chain_scalar / chain_f32,
+            });
+        }
+        // Boxcar decimator, factor 4: scalar vs SIMD, bit-gated.
+        let mut y_dec = vec![C64::default(); n / 4];
+        backend::decimate_into(Backend::Scalar, &wave, 4, &mut y_dec);
+        let cs_dec = checksum_c64(&y_dec);
+        let dec_scalar = time_ns(if quick { 5 } else { 20 }, reps, || {
+            backend::decimate_into(Backend::Scalar, &wave, 4, &mut y_dec);
+            std::hint::black_box(&y_dec);
+        });
+        records.push(Record {
+            kernel: "decimate_boxcar",
+            backend: "scalar",
+            ns_per_iter: dec_scalar,
+            ns_per_symbol: None,
+            ns_per_point: None,
+            threads: 1,
+            speedup: 1.0,
+        });
+        if simd_rows {
+            backend::decimate_into(Backend::Simd, &wave, 4, &mut y_dec);
+            if checksum_c64(&y_dec) != cs_dec {
+                diverged.push("decimate_boxcar_simd".into());
+            }
+            let dec_simd = time_ns(if quick { 5 } else { 20 }, reps, || {
+                backend::decimate_into(Backend::Simd, &wave, 4, &mut y_dec);
+                std::hint::black_box(&y_dec);
+            });
+            records.push(Record {
+                kernel: "decimate_boxcar_simd",
+                backend: "simd",
+                ns_per_iter: dec_simd,
+                ns_per_symbol: None,
+                ns_per_point: None,
+                threads: 1,
+                speedup: dec_scalar / dec_simd,
+            });
+        }
+    }
 
     // --- Packet pipeline: fused allocation-free vs allocating reference ---
     let sim = LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(3.0), 9);
@@ -416,6 +753,7 @@ fn main() {
     );
     records.push(Record {
         kernel: "run_packet_reference",
+        backend: default_label,
         ns_per_iter: pkt_ref,
         ns_per_symbol: Some(pkt_ref / pkt_syms),
         ns_per_point: None,
@@ -424,12 +762,79 @@ fn main() {
     });
     records.push(Record {
         kernel: "run_packet_fused",
+        backend: default_label,
         ns_per_iter: pkt_fused,
         ns_per_symbol: Some(pkt_fused / pkt_syms),
         ns_per_point: None,
         threads: 1,
         speedup: pkt_ref / pkt_fused,
     });
+
+    // --- Packet pipeline: explicit backend tiers --------------------------
+    // Fresh simulators per tier (`with_backend` rewires the receiver and the
+    // panel scratch factory); the scalar `sim` above is the baseline.
+    let o_scalar = sim.run_packet_with(&mut scratch, &pkt_bits, 2);
+    if simd_rows {
+        let sim_v = LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(3.0), 9)
+            .with_backend(Backend::Simd);
+        let mut scr_v = sim_v.make_scratch();
+        let sv = sim_v.synth_rx(&mut scr_v, &pkt_bits, 1);
+        let ss = sim.synth_rx(&mut scratch, &pkt_bits, 1);
+        if checksum_c64(sv.samples()) != checksum_c64(ss.samples()) {
+            diverged.push("run_packet_simd_waveform".into());
+        }
+        scr_v.give_back(sv.into_samples());
+        scratch.give_back(ss.into_samples());
+        let ov = sim_v.run_packet_with(&mut scr_v, &pkt_bits, 2);
+        if (ov.bit_errors, ov.bits, ov.detected)
+            != (o_scalar.bit_errors, o_scalar.bits, o_scalar.detected)
+        {
+            diverged.push("run_packet_simd_outcome".into());
+        }
+        let (pk_s, pk_v) = time_pair_ns(
+            1,
+            reps,
+            || {
+                std::hint::black_box(sim.run_packet_with(&mut scratch, &pkt_bits, 3));
+            },
+            || {
+                std::hint::black_box(sim_v.run_packet_with(&mut scr_v, &pkt_bits, 3));
+            },
+        );
+        records.push(Record {
+            kernel: "run_packet_simd",
+            backend: "simd",
+            ns_per_iter: pk_v,
+            ns_per_symbol: Some(pk_v / pkt_syms),
+            ns_per_point: None,
+            threads: 1,
+            speedup: pk_s / pk_v,
+        });
+    }
+    {
+        // F32 tier: different waveform bits by design; the gate here is the
+        // decision level (the packet must still decode), with the measured
+        // BER-delta bound enforced by the sim crate's fig16a test.
+        let sim_32 = LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(3.0), 9)
+            .with_backend(Backend::F32);
+        let mut scr_32 = sim_32.make_scratch();
+        let o32 = sim_32.run_packet_with(&mut scr_32, &pkt_bits, 2);
+        if o32.detected != o_scalar.detected {
+            diverged.push("run_packet_f32_detect".into());
+        }
+        let pk_32 = time_ns(1, reps, || {
+            std::hint::black_box(sim_32.run_packet_with(&mut scr_32, &pkt_bits, 3));
+        });
+        records.push(Record {
+            kernel: "run_packet_f32",
+            backend: "f32",
+            ns_per_iter: pk_32,
+            ns_per_symbol: Some(pk_32 / pkt_syms),
+            ns_per_point: None,
+            threads: 1,
+            speedup: pkt_fused / pk_32,
+        });
+    }
 
     // --- Waveform synthesis: live render vs cached re-noise (§7.3) -------
     // The sweep engine's core trade: a cache hit replaces the whole
@@ -463,6 +868,7 @@ fn main() {
         );
         records.push(Record {
             kernel: "waveform_render_reference",
+            backend: default_label,
             ns_per_iter: render_ns,
             ns_per_symbol: Some(render_ns / pkt_syms),
             ns_per_point: None,
@@ -471,6 +877,7 @@ fn main() {
         });
         records.push(Record {
             kernel: "waveform_renoise_cached",
+            backend: default_label,
             ns_per_iter: renoise_ns,
             ns_per_symbol: Some(renoise_ns / pkt_syms),
             ns_per_point: None,
@@ -512,6 +919,7 @@ fn main() {
     );
     records.push(Record {
         kernel: "rs_decode_errors_only",
+        backend: default_label,
         ns_per_iter: rs_plain,
         ns_per_symbol: None,
         ns_per_point: None,
@@ -520,6 +928,7 @@ fn main() {
     });
     records.push(Record {
         kernel: "rs_decode_errata",
+        backend: default_label,
         ns_per_iter: rs_errata,
         ns_per_symbol: None,
         ns_per_point: None,
@@ -554,6 +963,7 @@ fn main() {
     });
     records.push(Record {
         kernel: "impairment_chain_full",
+        backend: default_label,
         ns_per_iter: imp_ns,
         ns_per_symbol: None,
         ns_per_point: None,
@@ -577,6 +987,7 @@ fn main() {
     let sweep_1 = sweep(1);
     records.push(Record {
         kernel: "sweep_fig16a_quick",
+        backend: default_label,
         ns_per_iter: sweep_1,
         ns_per_symbol: None,
         ns_per_point: Some(sweep_1 / sweep_points),
@@ -587,6 +998,7 @@ fn main() {
         let sweep_n = sweep(n_threads);
         records.push(Record {
             kernel: "sweep_fig16a_quick",
+            backend: default_label,
             ns_per_iter: sweep_n,
             ns_per_symbol: None,
             ns_per_point: Some(sweep_n / sweep_points),
@@ -598,7 +1010,24 @@ fn main() {
     }
 
     // --- Emit ------------------------------------------------------------
-    let mut json = String::from("[\n");
+    // `{"meta": {...}, "kernels": [...]}`: the meta block records which
+    // backend the legacy rows ran on and what the host CPU offered, so
+    // archived baselines from different hosts/legs stay attributable.
+    let mut json = String::from("{\n  \"meta\": {\n");
+    json.push_str(&format!("    \"default_backend\": \"{default_label}\",\n"));
+    json.push_str(&format!("    \"simd_available\": {simd_rows},\n"));
+    json.push_str("    \"cpu_features\": {");
+    let feats = backend::cpu_features();
+    for (i, (name, on)) in feats.iter().enumerate() {
+        json.push_str(&format!(
+            "\"{name}\": {on}{}",
+            if i + 1 < feats.len() { ", " } else { "" }
+        ));
+    }
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "    \"quick\": {quick}\n  }},\n  \"kernels\": [\n"
+    ));
     for (i, r) in records.iter().enumerate() {
         let per_sym = match r.ns_per_symbol {
             Some(v) => format!("{v:.1}"),
@@ -609,8 +1038,9 @@ fn main() {
             None => "null".into(),
         };
         json.push_str(&format!(
-            "  {{\"kernel\": \"{}\", \"ns_per_iter\": {:.1}, \"ns_per_symbol\": {}, \"ns_per_point\": {}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"backend\": \"{}\", \"ns_per_iter\": {:.1}, \"ns_per_symbol\": {}, \"ns_per_point\": {}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
             r.kernel,
+            r.backend,
             r.ns_per_iter,
             per_sym,
             per_point,
@@ -619,7 +1049,7 @@ fn main() {
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
-    json.push_str("]\n");
+    json.push_str("  ]\n}\n");
 
     let path = std::env::var("BENCH_KERNELS_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
     let mut f = std::fs::File::create(&path).expect("create BENCH_kernels.json");

@@ -1,8 +1,10 @@
 //! Machine-readable sweep-engine benchmark: times whole figure sweeps in
 //! three modes — the end-to-end scalar reference oracle, the fused
 //! pipeline without the render cache (the pre-engine driver), and the
-//! engine's cached re-noise path — and writes `BENCH_sweeps.json`, one
-//! record per `{sweep, mode, threads, points, ms_total, ns_per_point,
+//! engine's cached re-noise path, plus the cached path through the Simd
+//! (bit-gated) and F32 (timing-only) backend tiers for field sweeps — and
+//! writes `BENCH_sweeps.json`: a `meta` provenance block plus one record
+//! per `{sweep, mode, threads, points, ms_total, ns_per_point,
 //! speedup}` measurement. `speedup` is each sweep's baseline-mode time
 //! over the row's time (baseline = the sweep's first listed mode), so the
 //! cached row's speedup is the headline engine win. The schema contract
@@ -21,6 +23,7 @@ use std::time::Instant;
 
 use retroturbo_bench::banner;
 use retroturbo_core::PhyConfig;
+use retroturbo_dsp::{backend, Backend};
 use retroturbo_sim::experiments::Effort;
 use retroturbo_sim::sweep::workloads::{BerOut, EmuSweep, FieldOracle, FieldSweep};
 use retroturbo_sim::{
@@ -122,7 +125,7 @@ fn run_profile(effort: Effort, records: &mut Vec<Record>, diverged: &mut Vec<Str
     } else {
         &[4.0, 9.0]
     };
-    let field = |oracle: FieldOracle| FieldSweep {
+    let field = |oracle: FieldOracle, bk: Backend| FieldSweep {
         make: move |curve: usize, d: f64| {
             let cfg = if curve == 0 {
                 PhyConfig::default_4kbps()
@@ -130,6 +133,7 @@ fn run_profile(effort: Effort, records: &mut Vec<Record>, diverged: &mut Vec<Str
                 PhyConfig::default_8kbps()
             };
             LinkSimulator::new(cfg, LinkBudget::fov10(), Scene::default_at(d), seed)
+                .with_backend(bk)
         },
         n_packets: effort.packets(),
         payload_bytes: effort.payload_bytes(),
@@ -146,7 +150,7 @@ fn run_profile(effort: Effort, records: &mut Vec<Record>, diverged: &mut Vec<Str
     // baseline; the fused no-cache mode is the pre-engine driver. Both must
     // be bit-identical to the cached path.
     {
-        let scalar = field(FieldOracle::Scalar);
+        let scalar = field(FieldOracle::Scalar, Backend::detect());
         let (recs, scalar_canon, div) = measure_sweep(
             name,
             &[("scalar_oracle", SweepEngine::new(seed).no_cache())],
@@ -160,7 +164,7 @@ fn run_profile(effort: Effort, records: &mut Vec<Record>, diverged: &mut Vec<Str
             diverged.push(d);
         }
 
-        let fused = field(FieldOracle::Fused);
+        let fused = field(FieldOracle::Fused, Backend::detect());
         let (mut recs, fused_canon, div) = measure_sweep(
             name,
             &[
@@ -185,6 +189,45 @@ fn run_profile(effort: Effort, records: &mut Vec<Record>, diverged: &mut Vec<Str
             r.speedup = scalar_ms / r.ms_total;
         }
         records.extend(recs);
+
+        // Backend tiers of the cached engine. The Simd tier claims
+        // bit-identity end to end, so its rows must serialise exactly like
+        // the scalar oracle's; the F32 tier renders different waveform bits
+        // by design (its accuracy bound is the sim crate's BER-delta test),
+        // so it contributes timing only.
+        if backend::simd_available() {
+            let simd = field(FieldOracle::Fused, Backend::Simd);
+            let (mut recs, simd_canon, _) = measure_sweep(
+                name,
+                &[("engine_cached_simd", SweepEngine::new(seed))],
+                &simd,
+                &grid,
+                reps,
+            );
+            if simd_canon != scalar_canon {
+                diverged.push(format!("{name}: simd tier diverged from scalar oracle"));
+            }
+            for r in &mut recs {
+                r.speedup = scalar_ms / r.ms_total;
+            }
+            records.extend(recs);
+        } else {
+            eprintln!("# no SIMD support on this host: skipping {name}/engine_cached_simd");
+        }
+        {
+            let f32s = field(FieldOracle::Fused, Backend::F32);
+            let (mut recs, _, _) = measure_sweep(
+                name,
+                &[("engine_cached_f32", SweepEngine::new(seed))],
+                &f32s,
+                &grid,
+                reps,
+            );
+            for r in &mut recs {
+                r.speedup = scalar_ms / r.ms_total;
+            }
+            records.extend(recs);
+        }
     }
 
     // --- fig18a emulated sweep: BER vs SNR per rate (§7.3) ----------------
@@ -232,6 +275,16 @@ fn main() {
         "bench-sweeps",
         "figure-sweep engine timings -> BENCH_sweeps.json",
     );
+    // Pin the process default to Scalar (as `bench_kernels` does) so the
+    // legacy rows stay comparable with pre-backend baselines; the explicit
+    // simd/f32 rows opt in via `with_backend`. A pre-set `RETROTURBO_BACKEND`
+    // (CI matrix legs) wins over the pin.
+    let forced = if std::env::var("RETROTURBO_BACKEND").is_ok() {
+        Backend::detect()
+    } else {
+        let _ = Backend::force(Backend::Scalar);
+        Backend::detect()
+    };
     let mut records: Vec<Record> = Vec::new();
     let mut diverged: Vec<String> = Vec::new();
     // The quick rows are the CI-smoke trajectory; a RETRO_FULL=1 run adds
@@ -242,10 +295,34 @@ fn main() {
     }
 
     // --- Emit ------------------------------------------------------------
-    let mut json = String::from("[\n");
+    // Same `{"meta": {...}, "sweeps": [...]}` provenance shape as
+    // `BENCH_kernels.json`, so archived runs stay attributable to a backend
+    // and host feature set.
+    let mut json = String::from("{\n  \"meta\": {\n");
+    json.push_str(&format!(
+        "    \"default_backend\": \"{}\",\n",
+        forced.label()
+    ));
+    json.push_str(&format!(
+        "    \"simd_available\": {},\n",
+        backend::simd_available()
+    ));
+    json.push_str("    \"cpu_features\": {");
+    let feats = backend::cpu_features();
+    for (i, (fname, on)) in feats.iter().enumerate() {
+        json.push_str(&format!(
+            "\"{fname}\": {on}{}",
+            if i + 1 < feats.len() { ", " } else { "" }
+        ));
+    }
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "    \"quick\": {}\n  }},\n  \"sweeps\": [\n",
+        Effort::from_env() != Effort::Full
+    ));
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"sweep\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"points\": {}, \"ms_total\": {:.1}, \"ns_per_point\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"sweep\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"points\": {}, \"ms_total\": {:.1}, \"ns_per_point\": {:.0}, \"speedup\": {:.3}}}{}\n",
             r.sweep,
             r.mode,
             r.threads,
@@ -256,7 +333,7 @@ fn main() {
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
-    json.push_str("]\n");
+    json.push_str("  ]\n}\n");
 
     let path = std::env::var("BENCH_SWEEPS_OUT").unwrap_or_else(|_| "BENCH_sweeps.json".into());
     let mut f = std::fs::File::create(&path).expect("create BENCH_sweeps.json");

@@ -363,6 +363,19 @@ impl RsCode {
         if f > two_t {
             return Err(RsError::TooManyErrors);
         }
+        if f == 0 {
+            // No erasures: the Forney syndrome fold and the Γ factor of the
+            // errata locator are identity work, so this is exactly the
+            // errors-only decode (same syndromes, same BM locator, same
+            // Chien/Forney corrections) — delegate instead of paying the
+            // erasure setup on every call.
+            let (msg, errors_corrected) = self.decode_impl(recv)?;
+            return Ok(ErasureDecode {
+                msg,
+                errors_corrected,
+                erasures_filled: 0,
+            });
+        }
 
         let synd = self.syndromes(recv);
         if synd.iter().all(|&s| s == 0) {

@@ -21,7 +21,8 @@
 use crate::constellation::{Constellation, PqamSymbol};
 use crate::params::PhyConfig;
 use crate::synth::{SlotLevels, TagModel};
-use retroturbo_dsp::C64;
+use retroturbo_dsp::backend;
+use retroturbo_dsp::{Backend, C64};
 use retroturbo_telemetry as telemetry;
 use std::rc::Rc;
 
@@ -221,6 +222,7 @@ impl ScoreBasis {
 /// via [`add_phase_into`]).
 #[allow(clippy::too_many_arguments)]
 fn predict_off_into(
+    bk: Backend,
     model: &TagModel,
     ring: &[SlotLevels],
     g: usize,
@@ -252,11 +254,10 @@ fn predict_off_into(
             continue;
         }
         if g < mphase {
-            // Not yet fired: relaxed contribution (key 0).
-            let seg = model.modules[module].slot(0, 0);
-            for (p, s) in pred_off.iter_mut().zip(seg) {
-                *p += *s;
-            }
+            // Not yet fired: relaxed contribution (key 0). `s · 1.0` is
+            // exact for every f64, so the weighted kernel stays
+            // bit-identical to the original plain add.
+            backend::axpy_wr(bk, pred_off, model.modules[module].slot(0, 0), 1.0);
             continue;
         }
         let tau = mtau;
@@ -285,11 +286,7 @@ fn predict_off_into(
                 }
                 key |= (level_fires(lev, b, bits) as usize) << age;
             }
-            let seg = model.modules[module].slot(key, tau);
-            let w = *w;
-            for (p, s) in pred_off.iter_mut().zip(seg) {
-                *p += *s * w;
-            }
+            backend::axpy_wr(bk, pred_off, model.modules[module].slot(key, tau), *w);
             if tau == 0 {
                 fire_h[(is_q as usize) * bits + b] = key >> 1;
             }
@@ -303,6 +300,7 @@ fn predict_off_into(
 /// `tau ≥ 1` and never touch `fire_h`.
 #[allow(clippy::too_many_arguments)]
 fn add_phase_into(
+    bk: Backend,
     model: &TagModel,
     ring: &[SlotLevels],
     g: usize,
@@ -333,11 +331,7 @@ fn add_phase_into(
             for (age, &lev) in levs[..n_ages].iter().enumerate() {
                 key |= (level_fires(lev, b, bits) as usize) << age;
             }
-            let seg = model.modules[module].slot(key, tau);
-            let w = *w;
-            for (p, s) in pred.iter_mut().zip(seg) {
-                *p += *s * w;
-            }
+            backend::axpy_wr(bk, pred, model.modules[module].slot(key, tau), *w);
         }
     }
 }
@@ -354,10 +348,16 @@ pub struct Equalizer {
     /// extension: a tag rolling *during* a packet drifts the constellation
     /// after the one-shot preamble correction; tracking follows it.
     track_block: Option<usize>,
+    /// Kernel tier for the hot prediction/scoring loops. The Simd tier is
+    /// bit-identical to Scalar, and the decision kernels deliberately run
+    /// in f64 even under [`Backend::F32`] (DESIGN.md §13), so decisions are
+    /// backend-invariant.
+    backend: Backend,
 }
 
 impl Equalizer {
-    /// Build an equalizer with the configuration's branch count.
+    /// Build an equalizer with the configuration's branch count and the
+    /// process-default backend.
     pub fn new(cfg: PhyConfig) -> Self {
         cfg.validate();
         Self {
@@ -365,7 +365,15 @@ impl Equalizer {
             k: cfg.k_branches.max(1),
             cfg,
             track_block: None,
+            backend: Backend::detect(),
         }
+    }
+
+    /// Override the kernel backend (benches pin tiers explicitly; normal
+    /// callers keep the process default).
+    pub fn with_backend(mut self, bk: Backend) -> Self {
+        self.backend = bk;
+        self
     }
 
     /// Enable decision-directed channel tracking with the given block length
@@ -570,6 +578,7 @@ impl Equalizer {
                 let ring = &rings[bi * history..(bi + 1) * history];
                 let (pred, fire_h): (&[C64], &[usize]) = if tracked {
                     predict_off_into(
+                        self.backend,
                         model,
                         ring,
                         g,
@@ -588,6 +597,7 @@ impl Equalizer {
                 } else if grouped {
                     if parents[bi] != last_parent {
                         predict_off_into(
+                            self.backend,
                             model,
                             ring,
                             g,
@@ -602,10 +612,22 @@ impl Equalizer {
                         last_parent = parents[bi];
                     }
                     pred_buf.copy_from_slice(&pred_common);
-                    add_phase_into(model, ring, g, l, v, bits, mask, &mut pred_buf, dep_phase);
+                    add_phase_into(
+                        self.backend,
+                        model,
+                        ring,
+                        g,
+                        l,
+                        v,
+                        bits,
+                        mask,
+                        &mut pred_buf,
+                        dep_phase,
+                    );
                     (&pred_buf, &fire_buf)
                 } else {
                     predict_off_into(
+                        self.backend,
                         model,
                         ring,
                         g,
@@ -623,25 +645,36 @@ impl Equalizer {
                 // Residual after removing the assumed-off prediction
                 // (tracking gain applied to the model side), and its
                 // energy R = Σ|res|².
-                let mut r_energy = 0.0f64;
-                if unit_gain {
-                    for ((r, x), p) in res.iter_mut().zip(rx_slot).zip(pred.iter()) {
-                        let z = *x - *p;
-                        r_energy += z.norm_sqr();
-                        *r = z;
-                    }
+                let r_energy = if unit_gain {
+                    backend::sub_energy(self.backend, &mut res, rx_slot, pred)
                 } else {
+                    let mut e = 0.0f64;
                     for ((r, x), p) in res.iter_mut().zip(rx_slot).zip(pred.iter()) {
                         let z = *x - gain * *p;
-                        r_energy += z.norm_sqr();
+                        e += z.norm_sqr();
                         *r = z;
                     }
-                }
+                    e
+                };
 
-                // Cross inner products ⟨res, δ⟩ over the active basis.
+                // Cross inner products ⟨res, δ⟩ over the active basis, two
+                // independent accumulator chains per kernel call (the
+                // active deltas come in `bits`-sized groups per axis;
+                // `bits` is even for every supported PQAM order except the
+                // degenerate P=2 bit, handled by the scalar tail).
                 let mut u = 0;
                 for axis in 0..2 {
-                    for b in 0..bits {
+                    let mut b = 0;
+                    while b + 2 <= bits {
+                        let d0 = basis.delta(phase, axis, b, fire_h[u]);
+                        let d1 = basis.delta(phase, axis, b + 1, fire_h[u + 1]);
+                        let (c0, c1) = backend::dot_conj2(self.backend, &res, d0, d1);
+                        cross[u] = c0;
+                        cross[u + 1] = c1;
+                        u += 2;
+                        b += 2;
+                    }
+                    if b < bits {
                         let d = basis.delta(phase, axis, b, fire_h[u]);
                         let mut acc = C64::default();
                         for (r, dv) in res.iter().zip(d) {

@@ -24,7 +24,9 @@ use crate::frame::Modulator;
 use crate::params::PhyConfig;
 use crate::pulse::PulseBank;
 use crate::synth::{ModuleModel, TagModel};
-use retroturbo_dsp::linalg::{chol_solve_c, gauss_solve_c, jacobi_svd, lstsq_c, CMat, Mat};
+use retroturbo_dsp::backend;
+use retroturbo_dsp::linalg::{chol_solve_c_with, gauss_solve_c, jacobi_svd, lstsq_c, CMat, Mat};
+use retroturbo_dsp::Backend;
 use retroturbo_dsp::C64;
 use retroturbo_lcm::LcParams;
 use retroturbo_telemetry as telemetry;
@@ -133,6 +135,10 @@ pub struct OnlineTrainer {
     classes: Vec<(usize, usize)>,
     /// `slot_class[g - start][module]` = class index active in that slot.
     slot_class: Vec<Vec<usize>>,
+    /// Kernel tier for the refinement accumulation and Cholesky solve. The
+    /// Simd tier is bit-identical to Scalar; training stays in f64 even
+    /// under [`Backend::F32`] (it produces the decision-critical model).
+    backend: Backend,
 }
 
 impl OnlineTrainer {
@@ -168,7 +174,15 @@ impl OnlineTrainer {
             aha_ridged,
             classes,
             slot_class,
+            backend: Backend::detect(),
         }
+    }
+
+    /// Override the kernel backend (benches pin tiers explicitly; normal
+    /// callers keep the process default).
+    pub fn with_backend(mut self, bk: Backend) -> Self {
+        self.backend = bk;
+        self
     }
 
     /// Binary firing history of `module` ending at global slot `g`, using
@@ -305,6 +319,7 @@ impl OnlineTrainer {
         if self.refine {
             telemetry::counter_add("train.refine_classes", self.classes.len() as u64);
             Self::refine_core(
+                self.backend,
                 cfg,
                 rx,
                 start,
@@ -420,7 +435,9 @@ impl OnlineTrainer {
     /// exactly-zero factor, which can never flip an accumulator that is
     /// `+0.0` or nonzero (and exact cancellation yields `+0.0`, so no
     /// accumulator is ever `−0.0` when such a term lands).
+    #[allow(clippy::too_many_arguments)]
     fn refine_core(
+        bk: Backend,
         cfg: &PhyConfig,
         rx: &[C64],
         start: usize,
@@ -438,6 +455,10 @@ impl OnlineTrainer {
         let mut aha = CMat::zeros(nc, nc);
         let mut ahb = vec![C64::default(); nc];
         let mut active: Vec<(usize, &[C64])> = Vec::with_capacity(n_modules);
+        // Right-hand-side chains of one `i` row: the ahb chain (destination
+        // sentinel usize::MAX) followed by the active `j ≥ i` Gram cells.
+        let mut chain_dst: Vec<usize> = Vec::with_capacity(n_modules + 1);
+        let mut chain_seg: Vec<&[C64]> = Vec::with_capacity(n_modules + 1);
         for g in start..end {
             let row0 = (g - start) * spt;
             let sc = &slot_class[g - start];
@@ -451,30 +472,64 @@ impl OnlineTrainer {
                 let (_, key) = classes[cidx];
                 (cidx, &segments[module][key][tau * spt..(tau + 1) * spt])
             }));
-            // Per-pair dot loops with the accumulator hoisted into a
+            // Per-pair dot chains with the accumulator hoisted into a
             // register. Each (i, j) cell is touched by exactly one module
             // pair per slot (a class belongs to one module, one class per
             // module per slot), so regrouping the t-walk per pair keeps
             // every accumulator's addend sequence — rows ascending —
-            // identical to the dense matmul.
+            // identical to the dense matmul. All of row i's chains share
+            // the conjugated left factor `seg_i`, so they run two at a time
+            // through the paired kernel, each lane seeded with its carried
+            // accumulator (bit-identical on every tier; see
+            // [`retroturbo_dsp::backend`]).
             let bw = &b[row0..row0 + spt];
             for &(i, seg_i) in &active {
-                let mut acc_b = ahb[i];
-                for (&s, &br) in seg_i.iter().zip(bw) {
-                    acc_b += s.conj() * br;
-                }
-                ahb[i] = acc_b;
+                chain_dst.clear();
+                chain_seg.clear();
+                chain_dst.push(usize::MAX); // ahb[i]
+                chain_seg.push(bw);
                 for &(j, seg_j) in &active {
                     // A^H·A is Hermitian; accumulate the upper triangle only
                     // and mirror below after the window (see proof below).
-                    if j < i {
-                        continue;
+                    if j >= i {
+                        chain_dst.push(j);
+                        chain_seg.push(seg_j);
                     }
-                    let mut acc = aha[(i, j)];
-                    for (&si, &sj) in seg_i.iter().zip(seg_j) {
+                }
+                let get = |aha: &CMat, ahb: &[C64], c: usize| {
+                    if chain_dst[c] == usize::MAX {
+                        ahb[i]
+                    } else {
+                        aha[(i, chain_dst[c])]
+                    }
+                };
+                let set = |aha: &mut CMat, ahb: &mut [C64], c: usize, v: C64| {
+                    if chain_dst[c] == usize::MAX {
+                        ahb[i] = v;
+                    } else {
+                        aha[(i, chain_dst[c])] = v;
+                    }
+                };
+                let mut c = 0;
+                while c + 2 <= chain_seg.len() {
+                    let (r0, r1) = backend::dotc2(
+                        bk,
+                        seg_i,
+                        chain_seg[c],
+                        chain_seg[c + 1],
+                        get(&aha, &ahb, c),
+                        get(&aha, &ahb, c + 1),
+                    );
+                    set(&mut aha, &mut ahb, c, r0);
+                    set(&mut aha, &mut ahb, c + 1, r1);
+                    c += 2;
+                }
+                if c < chain_seg.len() {
+                    let mut acc = get(&aha, &ahb, c);
+                    for (&si, &sj) in seg_i.iter().zip(chain_seg[c]) {
                         acc += si.conj() * sj;
                     }
-                    aha[(i, j)] = acc;
+                    set(&mut aha, &mut ahb, c, acc);
                 }
             }
         }
@@ -496,7 +551,7 @@ impl OnlineTrainer {
             }
         }
 
-        Self::solve_and_apply(aha, ahb, segments, classes);
+        Self::solve_and_apply(bk, aha, ahb, segments, classes);
     }
 
     /// The original dense formulation of the refinement stage: materialize
@@ -539,12 +594,14 @@ impl OnlineTrainer {
         let aha = ah.matmul(&a);
         let b = &rx[start * spt..end * spt];
         let ahb = ah.matvec(b);
-        Self::solve_and_apply(aha, ahb, segments, classes);
+        // The oracle path stays on the scalar tier end to end.
+        Self::solve_and_apply(Backend::Scalar, aha, ahb, segments, classes);
     }
 
     /// Shared tail of both refinement paths: ridge toward δ = 1 — solve
     /// `(AᴴA + λI)δ = Aᴴrx + λ·1` — and scale the segments by the fitted δ.
     fn solve_and_apply(
+        bk: Backend,
         mut aha: CMat,
         mut ahb: Vec<C64>,
         segments: &mut [Vec<Vec<C64>>],
@@ -561,7 +618,8 @@ impl OnlineTrainer {
         // construction, so the Cholesky solve (half the arithmetic of
         // Gaussian elimination) applies; fall back to the pivoted solver on
         // numerical non-definiteness rather than discarding the refinement.
-        let Some(delta) = chol_solve_c(&aha, &ahb).or_else(|| gauss_solve_c(&aha, &ahb)) else {
+        let Some(delta) = chol_solve_c_with(bk, &aha, &ahb).or_else(|| gauss_solve_c(&aha, &ahb))
+        else {
             return; // singular: keep the mixture estimate
         };
 

@@ -1,0 +1,1791 @@
+//! Multi-backend SIMD kernel layer with runtime dispatch (DESIGN.md §13).
+//!
+//! Three tiers, selected once per process (or explicitly per component):
+//!
+//! * [`Backend::Scalar`] — the existing scalar code paths everywhere. They
+//!   remain the **oracle**: every other tier is differential-tested against
+//!   them.
+//! * [`Backend::Simd`] — explicit `std::arch` AVX2 kernels behind runtime
+//!   `is_x86_feature_detected!` dispatch (a couple of cheap NEON kernels on
+//!   aarch64), falling back to scalar wherever no vector path exists. Every
+//!   f64 kernel in this tier is **bit-identical** to its scalar oracle: lanes
+//!   are only used for element-wise maps and for *independent* accumulation
+//!   chains (multiple outputs / rows / dot products), never to reassociate a
+//!   single f64 reduction, and no FMA contraction is used. Complex multiplies
+//!   use the `addsub` formulation, which performs exactly the scalar
+//!   `C64::mul` roundings. Bit-identity means the committed fixtures and all
+//!   `*_reference` differential tests pass unchanged under this tier.
+//! * [`Backend::F32`] — a reduced-precision tier for Monte-Carlo sweeps.
+//!   Not bit-gated: it is accepted via an end-to-end fig16a BER-delta gate
+//!   instead (see DESIGN.md §13). Covers the waveform-side kernels (panel
+//!   ODE, front-end filters, the preamble widely-linear fit); the decision
+//!   kernels (DFE scoring, training solves) intentionally stay on the f64
+//!   SIMD path.
+//!
+//! The process-wide default comes from [`Backend::detect`]: the
+//! `RETROTURBO_BACKEND` env var (`scalar` | `simd` | `f32` | `auto`) with
+//! `auto` resolving to `Simd` when the CPU supports it. A `simd` request on
+//! a host without AVX2 degrades gracefully to `Scalar`.
+//!
+//! This module is the only place in the crate where `unsafe` is allowed:
+//! every unsafe block is an intrinsics path guarded by the runtime feature
+//! check and pinned to its scalar oracle by the differential tests below.
+#![allow(unsafe_code)]
+
+use crate::complex::C64;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+/// Kernel tier. See the module docs for the contract of each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Scalar f64 oracle paths.
+    Scalar,
+    /// Explicit SIMD f64, bit-identical to `Scalar`.
+    Simd,
+    /// Reduced-precision waveform kernels (BER-delta gated), f64 SIMD
+    /// elsewhere.
+    F32,
+}
+
+static DEFAULT_BACKEND: OnceLock<Backend> = OnceLock::new();
+
+impl Backend {
+    /// Process-wide default backend: resolved once from `RETROTURBO_BACKEND`
+    /// (`scalar` | `simd` | `f32` | `auto`; unset = `auto`) and the CPU's
+    /// detected features, then cached.
+    pub fn detect() -> Backend {
+        *DEFAULT_BACKEND.get_or_init(|| {
+            Self::from_env_value(std::env::var("RETROTURBO_BACKEND").ok().as_deref())
+        })
+    }
+
+    /// Pin the process-wide default before the first [`Backend::detect`]
+    /// call (benches use this to keep legacy rows on the scalar tier
+    /// regardless of the environment). Returns `Err` with the already-cached
+    /// value if detection has happened.
+    pub fn force(b: Backend) -> Result<(), Backend> {
+        DEFAULT_BACKEND.set(b).map_err(|_| Self::detect())
+    }
+
+    /// Resolve an `RETROTURBO_BACKEND` value (`None` = unset).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a typo silently running the wrong
+    /// tier would invalidate benchmarks.
+    pub fn from_env_value(v: Option<&str>) -> Backend {
+        match v.map(str::trim) {
+            Some("scalar") => Backend::Scalar,
+            Some("f32") => Backend::F32,
+            Some("simd") | Some("auto") | Some("") | None => {
+                if simd_available() {
+                    Backend::Simd
+                } else {
+                    Backend::Scalar
+                }
+            }
+            Some(other) => panic!(
+                "RETROTURBO_BACKEND: unknown value {other:?} (expected scalar|simd|f32|auto)"
+            ),
+        }
+    }
+
+    /// Stable lowercase name for logs / bench metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Simd => "simd",
+            Backend::F32 => "f32",
+        }
+    }
+
+    /// True when this tier runs the vector f64 kernels (both `Simd` and
+    /// `F32` do — `F32` only lowers precision on the waveform-side kernels)
+    /// *and* the CPU actually supports them.
+    #[inline]
+    pub fn simd_f64(self) -> bool {
+        !matches!(self, Backend::Scalar) && simd_available()
+    }
+}
+
+/// True when the host has the vector unit the `Simd` tier targets (AVX2 on
+/// x86-64, baseline NEON on aarch64). Cached after the first call.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Detected CPU features relevant to kernel selection, for bench provenance
+/// metadata: `(name, detected)` pairs.
+pub fn cpu_features() -> Vec<(&'static str, bool)> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        vec![
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+        ]
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        vec![("neon", true)]
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C32: the reduced-precision complex sample
+// ---------------------------------------------------------------------------
+
+/// A complex number with `f32` components — the working currency of the
+/// [`Backend::F32`] tier. `repr(C)` for the same lane-view reason as
+/// [`C64`].
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C32 {
+    /// Real / in-phase part.
+    pub re: f32,
+    /// Imaginary / quadrature part.
+    pub im: f32,
+}
+
+impl C32 {
+    /// Construct from rectangular components.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Widen back to f64 precision.
+    #[inline]
+    pub fn to_c64(self) -> C64 {
+        C64::new(self.re as f64, self.im as f64)
+    }
+}
+
+impl From<C64> for C32 {
+    #[inline]
+    fn from(z: C64) -> Self {
+        Self::new(z.re as f32, z.im as f32)
+    }
+}
+
+impl std::ops::Add for C32 {
+    type Output = Self;
+    #[inline]
+    fn add(self, r: Self) -> Self {
+        Self::new(self.re + r.re, self.im + r.im)
+    }
+}
+
+impl std::ops::Sub for C32 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, r: Self) -> Self {
+        Self::new(self.re - r.re, self.im - r.im)
+    }
+}
+
+impl std::ops::Mul for C32 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, r: Self) -> Self {
+        Self::new(
+            self.re * r.re - self.im * r.im,
+            self.re * r.im + self.im * r.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f32> for C32 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, r: f32) -> Self {
+        Self::new(self.re * r, self.im * r)
+    }
+}
+
+impl std::ops::AddAssign for C32 {
+    #[inline]
+    fn add_assign(&mut self, r: Self) {
+        *self = *self + r;
+    }
+}
+
+/// Narrow a complex slice to f32, reusing `dst`'s allocation.
+pub fn narrow_c32(src: &[C64], dst: &mut Vec<C32>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&z| C32::from(z)));
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched f64 kernels (bit-identical contract)
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += src[i] * w` (complex × real axpy — the DFE prediction hot
+/// loop).
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn axpy_wr(bk: Backend, dst: &mut [C64], src: &[C64], w: f64) {
+    assert_eq!(dst.len(), src.len(), "axpy_wr: length mismatch");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::axpy_wr(dst, src, w);
+        }
+        #[cfg(target_arch = "aarch64")]
+        return neon::axpy_wr(dst, src, w);
+    }
+    for (p, s) in dst.iter_mut().zip(src) {
+        *p += *s * w;
+    }
+}
+
+/// `out[i] = x[i] - p[i]`, returning the residual energy `Σ |out[i]|²`
+/// accumulated in ascending index order (one rounding per `|z|²`, one per
+/// accumulate — the scalar DFE residual loop's exact chain).
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn sub_energy(bk: Backend, out: &mut [C64], x: &[C64], p: &[C64]) -> f64 {
+    assert_eq!(out.len(), x.len(), "sub_energy: length mismatch");
+    assert_eq!(out.len(), p.len(), "sub_energy: length mismatch");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::sub_energy(out, x, p);
+        }
+        #[cfg(target_arch = "aarch64")]
+        return neon::sub_energy(out, x, p);
+    }
+    let mut e = 0.0;
+    for ((o, &a), &b) in out.iter_mut().zip(x).zip(p) {
+        let z = a - b;
+        e += z.norm_sqr();
+        *o = z;
+    }
+    e
+}
+
+/// Two inner products against a shared left factor:
+/// `(Σ r[t]·conj(d0[t]), Σ r[t]·conj(d1[t]))` — the DFE cross-correlation
+/// dots, two independent accumulator chains.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn dot_conj2(bk: Backend, r: &[C64], d0: &[C64], d1: &[C64]) -> (C64, C64) {
+    assert_eq!(r.len(), d0.len(), "dot_conj2: length mismatch");
+    assert_eq!(r.len(), d1.len(), "dot_conj2: length mismatch");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::dot_conj2(r, d0, d1);
+        }
+    }
+    let (mut a0, mut a1) = (C64::default(), C64::default());
+    for ((&rt, &x0), &x1) in r.iter().zip(d0).zip(d1) {
+        a0 += rt * x0.conj();
+        a1 += rt * x1.conj();
+    }
+    (a0, a1)
+}
+
+/// Two running inner products with a shared conjugated left factor:
+/// `(i0 + Σ conj(a[t])·b0[t], i1 + Σ conj(a[t])·b1[t])` — the training
+/// refinement's Hermitian pair dots, which carry their accumulators across
+/// window slots (hence the explicit initial values: starting each lane's
+/// chain at the carried value preserves the scalar chain bit-for-bit).
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn dotc2(bk: Backend, a: &[C64], b0: &[C64], b1: &[C64], i0: C64, i1: C64) -> (C64, C64) {
+    assert_eq!(a.len(), b0.len(), "dotc2: length mismatch");
+    assert_eq!(a.len(), b1.len(), "dotc2: length mismatch");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::dotc2(a, b0, b1, i0, i1);
+        }
+    }
+    let (mut a0, mut a1) = (i0, i1);
+    for ((&at, &x0), &x1) in a.iter().zip(b0).zip(b1) {
+        a0 += at.conj() * x0;
+        a1 += at.conj() * x1;
+    }
+    (a0, a1)
+}
+
+/// Three row-dot products against a shared right vector:
+/// `[Σ r0[j]·y[j], Σ r1[j]·y[j], Σ r2[j]·y[j]]` — the widely-linear fit's
+/// fused `Aᴴy` pass.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn ahy3(bk: Backend, r0: &[C64], r1: &[C64], r2: &[C64], y: &[C64]) -> [C64; 3] {
+    assert_eq!(r0.len(), y.len(), "ahy3: length mismatch");
+    assert_eq!(r1.len(), y.len(), "ahy3: length mismatch");
+    assert_eq!(r2.len(), y.len(), "ahy3: length mismatch");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::ahy3(r0, r1, r2, y);
+        }
+    }
+    let mut ahb = [C64::default(); 3];
+    for (((&a0, &a1), &a2), &yj) in r0.iter().zip(r1).zip(r2).zip(y) {
+        ahb[0] += a0 * yj;
+        ahb[1] += a1 * yj;
+        ahb[2] += a2 * yj;
+    }
+    ahb
+}
+
+/// Fused fitted-value + residual pass of the widely-linear fit: for each row
+/// `[c0, c1, c2]` of the n×3 design (row-major `rows`), fold
+/// `f = 0 + c0·s0 + c1·s1 + c2·s2` and accumulate `|f − y|²` in row order.
+///
+/// # Panics
+/// Panics if `rows.len() != 3 * y.len()`.
+#[inline]
+pub fn wl_fold_residual(bk: Backend, rows: &[C64], sol: &[C64; 3], y: &[C64]) -> f64 {
+    assert_eq!(rows.len(), 3 * y.len(), "wl_fold_residual: shape mismatch");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::wl_fold_residual(rows, sol, y);
+        }
+    }
+    let mut residual = 0.0;
+    for (row, &yi) in rows.chunks_exact(3).zip(y) {
+        let f = C64::default() + row[0] * sol[0] + row[1] * sol[1] + row[2] * sol[2];
+        residual += (f - yi).norm_sqr();
+    }
+    residual
+}
+
+/// Column-`j` update of the row-oriented Cholesky factorization: for every
+/// row `i` in `below` (row-major slabs of length `n`),
+/// `row_i[j] = (row_i[j] − Σ_{k<j} row_i[k]·conj(prefix_j[k])) · inv_ljj`.
+/// Rows are independent chains, vectorized in pairs.
+///
+/// # Panics
+/// Panics if `below` is not a multiple of `n` or `prefix_j` shorter than `j`.
+#[inline]
+pub fn chol_col_update(
+    bk: Backend,
+    below: &mut [C64],
+    n: usize,
+    j: usize,
+    prefix_j: &[C64],
+    inv_ljj: f64,
+) {
+    assert!(
+        below.len().is_multiple_of(n),
+        "chol_col_update: ragged rows"
+    );
+    assert!(prefix_j.len() >= j, "chol_col_update: short prefix");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::chol_col_update(below, n, j, prefix_j, inv_ljj);
+        }
+    }
+    for row_i in below.chunks_exact_mut(n) {
+        let mut s = row_i[j];
+        for (&x, &yv) in row_i[..j].iter().zip(prefix_j) {
+            s -= x * yv.conj();
+        }
+        row_i[j] = s.scale(inv_ljj);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panel RK2 kernels (liquid-crystal dynamics, see retroturbo-lcm)
+// ---------------------------------------------------------------------------
+
+/// One RK2 midpoint step of the liquid-crystal dynamics for every pixel,
+/// writing the optical contribution `contrib[p] = w[p]·(2·x⁺[p] − 1)`.
+///
+/// This mirrors `retroturbo_lcm::dynamics::step_rates` exactly (charging
+/// `dx = ((1−x)·u)·inv_c`, `du = (1−u)·inv_uc`; discharging
+/// `dx = ((−x)·((1−x)+δ))·inv_r`, `du = (−u)·inv_ud`; both stages clamped to
+/// `[0, 1]`), selected per pixel by `drive_mask` (`u64::MAX` = field on,
+/// `0` = off). Bit-identity with the scalar panel loop is differential-
+/// tested in `retroturbo-lcm`.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn lc_rk2_contrib(
+    bk: Backend,
+    x: &mut [f64],
+    u: &mut [f64],
+    drive_mask: &[u64],
+    w: &[f64],
+    inv_charge: &[f64],
+    inv_ready_up: &[f64],
+    inv_relax: &[f64],
+    inv_ready_down: &[f64],
+    delta: &[f64],
+    dt: f64,
+    contrib: &mut [f64],
+) {
+    let n = x.len();
+    assert!(
+        [
+            u.len(),
+            drive_mask.len(),
+            w.len(),
+            inv_charge.len(),
+            inv_ready_up.len(),
+            inv_relax.len(),
+            inv_ready_down.len(),
+            delta.len(),
+            contrib.len(),
+        ]
+        .iter()
+        .all(|&l| l == n),
+        "lc_rk2_contrib: length mismatch"
+    );
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::lc_rk2_contrib(
+                x,
+                u,
+                drive_mask,
+                w,
+                inv_charge,
+                inv_ready_up,
+                inv_relax,
+                inv_ready_down,
+                delta,
+                dt,
+                contrib,
+            );
+        }
+    }
+    lc_rk2_contrib_scalar(
+        0..n,
+        x,
+        u,
+        drive_mask,
+        w,
+        inv_charge,
+        inv_ready_up,
+        inv_relax,
+        inv_ready_down,
+        delta,
+        dt,
+        contrib,
+    );
+}
+
+/// Scalar tail/fallback of [`lc_rk2_contrib`], over an index range.
+#[allow(clippy::too_many_arguments)]
+fn lc_rk2_contrib_scalar(
+    range: std::ops::Range<usize>,
+    x: &mut [f64],
+    u: &mut [f64],
+    drive_mask: &[u64],
+    w: &[f64],
+    inv_charge: &[f64],
+    inv_ready_up: &[f64],
+    inv_relax: &[f64],
+    inv_ready_down: &[f64],
+    delta: &[f64],
+    dt: f64,
+    contrib: &mut [f64],
+) {
+    let derivs = |xp: f64, up: f64, p: usize, on: bool| -> (f64, f64) {
+        if on {
+            (
+                (1.0 - xp) * up * inv_charge[p],
+                (1.0 - up) * inv_ready_up[p],
+            )
+        } else {
+            (
+                -xp * (1.0 - xp + delta[p]) * inv_relax[p],
+                -up * inv_ready_down[p],
+            )
+        }
+    };
+    for p in range {
+        let on = drive_mask[p] != 0;
+        let (dx1, du1) = derivs(x[p], u[p], p, on);
+        let mx = (x[p] + 0.5 * dt * dx1).clamp(0.0, 1.0);
+        let mu = (u[p] + 0.5 * dt * du1).clamp(0.0, 1.0);
+        let (dx2, du2) = derivs(mx, mu, p, on);
+        let xn = (x[p] + dt * dx2).clamp(0.0, 1.0);
+        let un = (u[p] + dt * du2).clamp(0.0, 1.0);
+        x[p] = xn;
+        u[p] = un;
+        contrib[p] = w[p] * (2.0 * xn - 1.0);
+    }
+}
+
+/// f32 variant of [`lc_rk2_contrib`] for the [`Backend::F32`] tier (8-wide
+/// AVX2 when available, scalar f32 otherwise). Not bit-gated.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn lc_rk2_contrib_f32(
+    x: &mut [f32],
+    u: &mut [f32],
+    drive_mask: &[u32],
+    w: &[f32],
+    inv_charge: &[f32],
+    inv_ready_up: &[f32],
+    inv_relax: &[f32],
+    inv_ready_down: &[f32],
+    delta: &[f32],
+    dt: f32,
+    contrib: &mut [f32],
+) {
+    let n = x.len();
+    assert!(
+        [
+            u.len(),
+            drive_mask.len(),
+            w.len(),
+            inv_charge.len(),
+            inv_ready_up.len(),
+            inv_relax.len(),
+            inv_ready_down.len(),
+            delta.len(),
+            contrib.len(),
+        ]
+        .iter()
+        .all(|&l| l == n),
+        "lc_rk2_contrib_f32: length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if simd_available() {
+        // SAFETY: AVX2 detected at runtime.
+        unsafe {
+            return avx2::lc_rk2_contrib_f32(
+                x,
+                u,
+                drive_mask,
+                w,
+                inv_charge,
+                inv_ready_up,
+                inv_relax,
+                inv_ready_down,
+                delta,
+                dt,
+                contrib,
+            );
+        }
+    }
+    lc_rk2_contrib_f32_scalar(
+        0..n,
+        x,
+        u,
+        drive_mask,
+        w,
+        inv_charge,
+        inv_ready_up,
+        inv_relax,
+        inv_ready_down,
+        delta,
+        dt,
+        contrib,
+    );
+}
+
+/// Scalar tail/fallback of [`lc_rk2_contrib_f32`], over an index range.
+#[allow(clippy::too_many_arguments)]
+fn lc_rk2_contrib_f32_scalar(
+    range: std::ops::Range<usize>,
+    x: &mut [f32],
+    u: &mut [f32],
+    drive_mask: &[u32],
+    w: &[f32],
+    inv_charge: &[f32],
+    inv_ready_up: &[f32],
+    inv_relax: &[f32],
+    inv_ready_down: &[f32],
+    delta: &[f32],
+    dt: f32,
+    contrib: &mut [f32],
+) {
+    let derivs = |xp: f32, up: f32, p: usize, on: bool| -> (f32, f32) {
+        if on {
+            (
+                (1.0 - xp) * up * inv_charge[p],
+                (1.0 - up) * inv_ready_up[p],
+            )
+        } else {
+            (
+                -xp * (1.0 - xp + delta[p]) * inv_relax[p],
+                -up * inv_ready_down[p],
+            )
+        }
+    };
+    for p in range {
+        let on = drive_mask[p] != 0;
+        let (dx1, du1) = derivs(x[p], u[p], p, on);
+        let mx = (x[p] + 0.5 * dt * dx1).clamp(0.0, 1.0);
+        let mu = (u[p] + 0.5 * dt * du1).clamp(0.0, 1.0);
+        let (dx2, du2) = derivs(mx, mu, p, on);
+        let xn = (x[p] + dt * dx2).clamp(0.0, 1.0);
+        let un = (u[p] + dt * du2).clamp(0.0, 1.0);
+        x[p] = xn;
+        u[p] = un;
+        contrib[p] = w[p] * (2.0 * xn - 1.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIR / biquad / decimator kernels
+// ---------------------------------------------------------------------------
+
+/// Delay-compensated FIR convolution: `out[i] = Σ_k x[i + d − k]·taps[k]`
+/// with out-of-range inputs skipped (zero-padded edges), `out.len() ==
+/// x.len()`. Outputs are independent chains, vectorized in pairs over the
+/// fully-in-bounds interior.
+///
+/// # Panics
+/// Panics if `out.len() != x.len()`.
+pub fn fir_filter_into(bk: Backend, taps: &[f64], x: &[C64], d: usize, out: &mut [C64]) {
+    assert_eq!(out.len(), x.len(), "fir_filter_into: length mismatch");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::fir_filter(taps, x, d, out);
+        }
+    }
+    fir_filter_scalar(0..x.len(), taps, x, d, out);
+}
+
+/// Scalar edge/fallback of [`fir_filter_into`]: the original bounds-checked
+/// loop, restricted to `range`.
+fn fir_filter_scalar(
+    range: std::ops::Range<usize>,
+    taps: &[f64],
+    x: &[C64],
+    d: usize,
+    out: &mut [C64],
+) {
+    let n = x.len();
+    for i in range {
+        let mut acc = C64::default();
+        for (k, &t) in taps.iter().enumerate() {
+            let idx = i as isize + d as isize - k as isize;
+            if idx >= 0 && (idx as usize) < n {
+                acc += x[idx as usize] * t;
+            }
+        }
+        out[i] = acc;
+    }
+}
+
+/// f32 FIR for the [`Backend::F32`] tier (plain f32 loop; LLVM vectorizes
+/// the independent output chains well enough at this precision tier).
+pub fn fir_filter_f32_into(taps: &[f32], x: &[C32], d: usize, out: &mut [C32]) {
+    assert_eq!(out.len(), x.len(), "fir_filter_f32_into: length mismatch");
+    let n = x.len();
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = C32::default();
+        for (k, &t) in taps.iter().enumerate() {
+            let idx = i as isize + d as isize - k as isize;
+            if idx >= 0 && (idx as usize) < n {
+                acc += x[idx as usize] * t;
+            }
+        }
+        *o = acc;
+    }
+}
+
+/// Normalized biquad coefficients (`a0 = 1`), shared by the f64 and f32
+/// filter kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiquadCoeffs {
+    /// Feed-forward taps.
+    pub b0: f64,
+    /// Feed-forward taps.
+    pub b1: f64,
+    /// Feed-forward taps.
+    pub b2: f64,
+    /// Feedback taps.
+    pub a1: f64,
+    /// Feedback taps.
+    pub a2: f64,
+}
+
+/// Direct-form-II-transposed biquad over a whole buffer from zero state,
+/// returning the final `(z1, z2)` delay state. The recurrence is inherently
+/// serial across samples; the SIMD tier runs the `[re, im]` pair as one
+/// 2-lane vector (bit-identical: purely element-wise).
+///
+/// # Panics
+/// Panics if `out.len() != x.len()`.
+pub fn biquad_filter_into(bk: Backend, c: &BiquadCoeffs, x: &[C64], out: &mut [C64]) -> (C64, C64) {
+    assert_eq!(out.len(), x.len(), "biquad_filter_into: length mismatch");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86-64.
+        unsafe {
+            return avx2::biquad_filter(c, x, out);
+        }
+    }
+    let (mut z1, mut z2) = (C64::default(), C64::default());
+    for (o, &xi) in out.iter_mut().zip(x) {
+        let y = xi * c.b0 + z1;
+        z1 = xi * c.b1 - y * c.a1 + z2;
+        z2 = xi * c.b2 - y * c.a2;
+        *o = y;
+    }
+    (z1, z2)
+}
+
+/// f32 biquad for the [`Backend::F32`] tier.
+pub fn biquad_filter_f32_into(c: &BiquadCoeffs, x: &[C32], out: &mut [C32]) {
+    assert_eq!(
+        out.len(),
+        x.len(),
+        "biquad_filter_f32_into: length mismatch"
+    );
+    let (b0, b1, b2, a1, a2) = (
+        c.b0 as f32,
+        c.b1 as f32,
+        c.b2 as f32,
+        c.a1 as f32,
+        c.a2 as f32,
+    );
+    let (mut z1, mut z2) = (C32::default(), C32::default());
+    for (o, &xi) in out.iter_mut().zip(x) {
+        let y = xi * b0 + z1;
+        z1 = xi * b1 - y * a1 + z2;
+        z2 = xi * b2 - y * a2;
+        *o = y;
+    }
+}
+
+/// Boxcar decimation by `m`: `out[o] = (Σ_{k<m} x[o·m + k]) / m`, summed in
+/// ascending order from complex zero. Outputs are independent chains,
+/// vectorized in pairs.
+///
+/// # Panics
+/// Panics if `m == 0` or `out.len() != x.len() / m`.
+pub fn decimate_into(bk: Backend, x: &[C64], m: usize, out: &mut [C64]) {
+    assert!(m > 0, "decimate_into: factor must be >= 1");
+    assert_eq!(out.len(), x.len() / m, "decimate_into: length mismatch");
+    if bk.simd_f64() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_f64() implies AVX2 was detected at runtime.
+        unsafe {
+            return avx2::decimate(x, m, out);
+        }
+    }
+    let inv = 1.0 / m as f64;
+    for (o, c) in out.iter_mut().zip(x.chunks_exact(m)) {
+        *o = c.iter().copied().sum::<C64>().scale(inv);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 widely-linear fit kernels (preamble detection under the F32 tier)
+// ---------------------------------------------------------------------------
+
+/// f32 [`ahy3`]: three row dots against a shared right vector.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn ahy3_f32(r0: &[C32], r1: &[C32], r2: &[C32], y: &[C32]) -> [C32; 3] {
+    assert_eq!(r0.len(), y.len(), "ahy3_f32: length mismatch");
+    assert_eq!(r1.len(), y.len(), "ahy3_f32: length mismatch");
+    assert_eq!(r2.len(), y.len(), "ahy3_f32: length mismatch");
+    let mut ahb = [C32::default(); 3];
+    for (((&a0, &a1), &a2), &yj) in r0.iter().zip(r1).zip(r2).zip(y) {
+        ahb[0] += a0 * yj;
+        ahb[1] += a1 * yj;
+        ahb[2] += a2 * yj;
+    }
+    ahb
+}
+
+/// f32 [`wl_fold_residual`].
+///
+/// # Panics
+/// Panics if `rows.len() != 3 * y.len()`.
+#[inline]
+pub fn wl_fold_residual_f32(rows: &[C32], sol: &[C32; 3], y: &[C32]) -> f32 {
+    assert_eq!(
+        rows.len(),
+        3 * y.len(),
+        "wl_fold_residual_f32: shape mismatch"
+    );
+    let mut residual = 0.0f32;
+    for (row, &yi) in rows.chunks_exact(3).zip(y) {
+        let f = C32::default() + row[0] * sol[0] + row[1] * sol[1] + row[2] * sol[2];
+        residual += (f - yi).norm_sqr();
+    }
+    residual
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 implementations. Bit-identity discipline (f64 kernels):
+    //!
+    //! * element-wise maps use plain `mul`/`add`/`sub` — no FMA (contraction
+    //!   changes rounding);
+    //! * f64 reductions keep one scalar chain per *independent* output; the
+    //!   ymm lanes hold different outputs, never partial sums of one output;
+    //! * complex products use the `addsub` formulation, whose per-component
+    //!   roundings are exactly `C64::mul`'s (addition commutes bit-exactly,
+    //!   and `a − (−b)` rounds identically to `a + b`);
+    //! * `max/min` only replace `clamp` where `NaN`/`−0.0` inputs are
+    //!   unreachable (argued at the call sites).
+
+    use super::{BiquadCoeffs, C32};
+    use crate::complex::C64;
+    use std::arch::x86_64::*;
+
+    #[inline(always)]
+    fn pf(xs: &[C64]) -> *const f64 {
+        xs.as_ptr() as *const f64
+    }
+
+    #[inline(always)]
+    fn pfm(xs: &mut [C64]) -> *mut f64 {
+        xs.as_mut_ptr() as *mut f64
+    }
+
+    /// Load one complex into the low lane pair and another into the high
+    /// pair: `[a.re, a.im, b.re, b.im]`.
+    #[inline(always)]
+    unsafe fn pair(a: *const f64, b: *const f64) -> __m256d {
+        _mm256_set_m128d(_mm_loadu_pd(b), _mm_loadu_pd(a))
+    }
+
+    #[inline(always)]
+    unsafe fn neg(v: __m256d) -> __m256d {
+        _mm256_xor_pd(v, _mm256_set1_pd(-0.0))
+    }
+
+    /// Per-128-lane complex product `a·b` (`b_swap` = `b` with re/im
+    /// swapped). Rounds exactly like `C64::mul`.
+    #[inline(always)]
+    unsafe fn cmul(a: __m256d, b: __m256d, b_swap: __m256d) -> __m256d {
+        let t1 = _mm256_mul_pd(_mm256_movedup_pd(a), b);
+        let t2 = _mm256_mul_pd(_mm256_permute_pd(a, 0b1111), b_swap);
+        _mm256_addsub_pd(t1, t2)
+    }
+
+    /// Per-128-lane `a·conj(b)`. Rounds exactly like `C64::mul(a, b.conj())`.
+    #[inline(always)]
+    unsafe fn cmul_conj_rhs(a: __m256d, b: __m256d, b_swap: __m256d) -> __m256d {
+        let t1 = _mm256_mul_pd(_mm256_movedup_pd(a), b);
+        let t2 = _mm256_mul_pd(_mm256_permute_pd(a, 0b1111), b_swap);
+        _mm256_addsub_pd(t2, neg(t1))
+    }
+
+    /// Per-128-lane `conj(a)·b`. Rounds exactly like
+    /// `C64::mul(a.conj(), b)`.
+    #[inline(always)]
+    unsafe fn cmul_conj_lhs(a: __m256d, b: __m256d, b_swap: __m256d) -> __m256d {
+        let t1 = _mm256_mul_pd(_mm256_movedup_pd(a), b);
+        let t2 = _mm256_mul_pd(_mm256_permute_pd(a, 0b1111), b_swap);
+        _mm256_addsub_pd(t1, neg(t2))
+    }
+
+    #[inline(always)]
+    unsafe fn swap_halves(v: __m256d) -> __m256d {
+        _mm256_permute_pd(v, 0b0101)
+    }
+
+    #[inline(always)]
+    unsafe fn extract2(v: __m256d) -> (C64, C64) {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd(v, 1);
+        let mut buf = [0.0f64; 4];
+        _mm_storeu_pd(buf.as_mut_ptr(), lo);
+        _mm_storeu_pd(buf.as_mut_ptr().add(2), hi);
+        (C64::new(buf[0], buf[1]), C64::new(buf[2], buf[3]))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_wr(dst: &mut [C64], src: &[C64], w: f64) {
+        let n = dst.len();
+        let dp = pfm(dst);
+        let sp = pf(src);
+        let wv = _mm256_set1_pd(w);
+        let mut i = 0;
+        while i + 4 <= n {
+            let s0 = _mm256_loadu_pd(sp.add(2 * i));
+            let s1 = _mm256_loadu_pd(sp.add(2 * i + 4));
+            let d0 = _mm256_loadu_pd(dp.add(2 * i));
+            let d1 = _mm256_loadu_pd(dp.add(2 * i + 4));
+            _mm256_storeu_pd(dp.add(2 * i), _mm256_add_pd(d0, _mm256_mul_pd(s0, wv)));
+            _mm256_storeu_pd(dp.add(2 * i + 4), _mm256_add_pd(d1, _mm256_mul_pd(s1, wv)));
+            i += 4;
+        }
+        while i + 2 <= n {
+            let s0 = _mm256_loadu_pd(sp.add(2 * i));
+            let d0 = _mm256_loadu_pd(dp.add(2 * i));
+            _mm256_storeu_pd(dp.add(2 * i), _mm256_add_pd(d0, _mm256_mul_pd(s0, wv)));
+            i += 2;
+        }
+        while i < n {
+            dst[i] += src[i] * w;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_energy(out: &mut [C64], x: &[C64], p: &[C64]) -> f64 {
+        let n = out.len();
+        let op = pfm(out);
+        let xp = pf(x);
+        let pp = pf(p);
+        let mut e = 0.0f64;
+        let mut i = 0;
+        while i + 2 <= n {
+            let z = _mm256_sub_pd(
+                _mm256_loadu_pd(xp.add(2 * i)),
+                _mm256_loadu_pd(pp.add(2 * i)),
+            );
+            _mm256_storeu_pd(op.add(2 * i), z);
+            let sq = _mm256_mul_pd(z, z);
+            // hadd gives |z|² with a single rounding per complex, matching
+            // `norm_sqr`'s `re·re + im·im`.
+            let h = _mm256_hadd_pd(sq, sq);
+            let lo = _mm256_castpd256_pd128(h);
+            let hi = _mm256_extractf128_pd(h, 1);
+            e += _mm_cvtsd_f64(lo);
+            e += _mm_cvtsd_f64(hi);
+            i += 2;
+        }
+        while i < n {
+            let z = x[i] - p[i];
+            e += z.norm_sqr();
+            out[i] = z;
+            i += 1;
+        }
+        e
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_conj2(r: &[C64], d0: &[C64], d1: &[C64]) -> (C64, C64) {
+        let n = r.len();
+        let rp = pf(r);
+        let d0p = pf(d0);
+        let d1p = pf(d1);
+        let mut acc = _mm256_setzero_pd();
+        for t in 0..n {
+            let a = _mm256_broadcast_pd(&*(rp.add(2 * t) as *const __m128d));
+            let b = pair(d0p.add(2 * t), d1p.add(2 * t));
+            acc = _mm256_add_pd(acc, cmul_conj_rhs(a, b, swap_halves(b)));
+        }
+        extract2(acc)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dotc2(a: &[C64], b0: &[C64], b1: &[C64], i0: C64, i1: C64) -> (C64, C64) {
+        let n = a.len();
+        let ap = pf(a);
+        let b0p = pf(b0);
+        let b1p = pf(b1);
+        let mut acc = _mm256_set_pd(i1.im, i1.re, i0.im, i0.re);
+        for t in 0..n {
+            let av = _mm256_broadcast_pd(&*(ap.add(2 * t) as *const __m128d));
+            let b = pair(b0p.add(2 * t), b1p.add(2 * t));
+            acc = _mm256_add_pd(acc, cmul_conj_lhs(av, b, swap_halves(b)));
+        }
+        extract2(acc)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn ahy3(r0: &[C64], r1: &[C64], r2: &[C64], y: &[C64]) -> [C64; 3] {
+        let n = y.len();
+        let (r0p, r1p, r2p, yp) = (pf(r0), pf(r1), pf(r2), pf(y));
+        let mut acc01 = _mm256_setzero_pd();
+        let mut acc2 = _mm_setzero_pd();
+        for j in 0..n {
+            let yv = _mm256_broadcast_pd(&*(yp.add(2 * j) as *const __m128d));
+            let a01 = pair(r0p.add(2 * j), r1p.add(2 * j));
+            acc01 = _mm256_add_pd(acc01, cmul(a01, yv, swap_halves(yv)));
+            // Third chain in an xmm register: same addsub formulation.
+            let a2 = _mm_loadu_pd(r2p.add(2 * j));
+            let yl = _mm256_castpd256_pd128(yv);
+            let t1 = _mm_mul_pd(_mm_movedup_pd(a2), yl);
+            let t2 = _mm_mul_pd(_mm_unpackhi_pd(a2, a2), _mm_shuffle_pd::<0b01>(yl, yl));
+            acc2 = _mm_add_pd(acc2, _mm_addsub_pd(t1, t2));
+        }
+        let (c0, c1) = extract2(acc01);
+        let mut buf = [0.0f64; 2];
+        _mm_storeu_pd(buf.as_mut_ptr(), acc2);
+        [c0, c1, C64::new(buf[0], buf[1])]
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn wl_fold_residual(rows: &[C64], sol: &[C64; 3], y: &[C64]) -> f64 {
+        let n = y.len();
+        let rp = pf(rows);
+        let yp = pf(y);
+        // Broadcast each solution coefficient (and its swap) once.
+        let s: Vec<(__m256d, __m256d)> = sol
+            .iter()
+            .map(|c| {
+                let v = _mm256_set_pd(c.im, c.re, c.im, c.re);
+                (v, swap_halves(v))
+            })
+            .collect();
+        let zero = _mm256_setzero_pd();
+        let mut residual = 0.0f64;
+        let mut i = 0;
+        while i + 2 <= n {
+            // Rows i and i+1 occupy rows[3i..3i+6]; coefficient k of the two
+            // rows sits at stride 3 complexes.
+            let base = 6 * i;
+            let mut f = zero;
+            for (k, &(sv, svs)) in s.iter().enumerate() {
+                let a = pair(rp.add(base + 2 * k), rp.add(base + 6 + 2 * k));
+                f = _mm256_add_pd(f, cmul(a, sv, svs));
+            }
+            let diff = _mm256_sub_pd(f, _mm256_loadu_pd(yp.add(2 * i)));
+            let sq = _mm256_mul_pd(diff, diff);
+            let h = _mm256_hadd_pd(sq, sq);
+            residual += _mm_cvtsd_f64(_mm256_castpd256_pd128(h));
+            residual += _mm_cvtsd_f64(_mm256_extractf128_pd(h, 1));
+            i += 2;
+        }
+        while i < n {
+            let row = &rows[3 * i..3 * i + 3];
+            let f = C64::default() + row[0] * sol[0] + row[1] * sol[1] + row[2] * sol[2];
+            residual += (f - y[i]).norm_sqr();
+            i += 1;
+        }
+        residual
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn chol_col_update(
+        below: &mut [C64],
+        n: usize,
+        j: usize,
+        prefix_j: &[C64],
+        inv_ljj: f64,
+    ) {
+        let ppj = pf(prefix_j);
+        let inv = _mm256_set1_pd(inv_ljj);
+        let mut rows = below.chunks_exact_mut(2 * n);
+        for pair_rows in &mut rows {
+            let (r0, r1) = pair_rows.split_at_mut(n);
+            let r0p = pfm(r0);
+            let r1p = pfm(r1);
+            let mut acc = pair(r0p.add(2 * j) as *const f64, r1p.add(2 * j) as *const f64);
+            for k in 0..j {
+                let b = _mm256_broadcast_pd(&*(ppj.add(2 * k) as *const __m128d));
+                let a = pair(r0p.add(2 * k) as *const f64, r1p.add(2 * k) as *const f64);
+                acc = _mm256_sub_pd(acc, cmul_conj_rhs(a, b, swap_halves(b)));
+            }
+            acc = _mm256_mul_pd(acc, inv);
+            _mm_storeu_pd(r0p.add(2 * j), _mm256_castpd256_pd128(acc));
+            _mm_storeu_pd(r1p.add(2 * j), _mm256_extractf128_pd(acc, 1));
+        }
+        for row_i in rows.into_remainder().chunks_exact_mut(n) {
+            let mut sv = row_i[j];
+            for (&xv, &yv) in row_i[..j].iter().zip(prefix_j) {
+                sv -= xv * yv.conj();
+            }
+            row_i[j] = sv.scale(inv_ljj);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn lc_rk2_contrib(
+        x: &mut [f64],
+        u: &mut [f64],
+        drive_mask: &[u64],
+        w: &[f64],
+        inv_charge: &[f64],
+        inv_ready_up: &[f64],
+        inv_relax: &[f64],
+        inv_ready_down: &[f64],
+        delta: &[f64],
+        dt: f64,
+        contrib: &mut [f64],
+    ) {
+        let n = x.len();
+        let one = _mm256_set1_pd(1.0);
+        let zero = _mm256_setzero_pd();
+        let hdt = _mm256_set1_pd(0.5 * dt);
+        let dtv = _mm256_set1_pd(dt);
+        // x⁺ ∈ [0,1] is finite and never −0.0 (see scalar analysis), so
+        // max/min are exact stand-ins for clamp.
+        let clamp01 = |v: __m256d| _mm256_min_pd(_mm256_max_pd(v, zero), one);
+        let mut p = 0;
+        while p + 4 <= n {
+            let xv = _mm256_loadu_pd(x.as_ptr().add(p));
+            let uv = _mm256_loadu_pd(u.as_ptr().add(p));
+            let mask = _mm256_loadu_pd(drive_mask.as_ptr().add(p) as *const f64);
+            let icv = _mm256_loadu_pd(inv_charge.as_ptr().add(p));
+            let iuv = _mm256_loadu_pd(inv_ready_up.as_ptr().add(p));
+            let irv = _mm256_loadu_pd(inv_relax.as_ptr().add(p));
+            let idv = _mm256_loadu_pd(inv_ready_down.as_ptr().add(p));
+            let dev = _mm256_loadu_pd(delta.as_ptr().add(p));
+
+            let derivs = |xs: __m256d, us: __m256d| -> (__m256d, __m256d) {
+                let dx_on = _mm256_mul_pd(_mm256_mul_pd(_mm256_sub_pd(one, xs), us), icv);
+                let du_on = _mm256_mul_pd(_mm256_sub_pd(one, us), iuv);
+                let dx_off = _mm256_mul_pd(
+                    _mm256_mul_pd(
+                        super::avx2neg(xs),
+                        _mm256_add_pd(_mm256_sub_pd(one, xs), dev),
+                    ),
+                    irv,
+                );
+                let du_off = _mm256_mul_pd(super::avx2neg(us), idv);
+                (
+                    _mm256_blendv_pd(dx_off, dx_on, mask),
+                    _mm256_blendv_pd(du_off, du_on, mask),
+                )
+            };
+            let (dx1, du1) = derivs(xv, uv);
+            let mx = clamp01(_mm256_add_pd(xv, _mm256_mul_pd(hdt, dx1)));
+            let mu = clamp01(_mm256_add_pd(uv, _mm256_mul_pd(hdt, du1)));
+            let (dx2, du2) = derivs(mx, mu);
+            let xn = clamp01(_mm256_add_pd(xv, _mm256_mul_pd(dtv, dx2)));
+            let un = clamp01(_mm256_add_pd(uv, _mm256_mul_pd(dtv, du2)));
+            _mm256_storeu_pd(x.as_mut_ptr().add(p), xn);
+            _mm256_storeu_pd(u.as_mut_ptr().add(p), un);
+            let g = _mm256_sub_pd(_mm256_mul_pd(_mm256_set1_pd(2.0), xn), one);
+            _mm256_storeu_pd(
+                contrib.as_mut_ptr().add(p),
+                _mm256_mul_pd(_mm256_loadu_pd(w.as_ptr().add(p)), g),
+            );
+            p += 4;
+        }
+        super::lc_rk2_contrib_scalar(
+            p..n,
+            x,
+            u,
+            drive_mask,
+            w,
+            inv_charge,
+            inv_ready_up,
+            inv_relax,
+            inv_ready_down,
+            delta,
+            dt,
+            contrib,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn lc_rk2_contrib_f32(
+        x: &mut [f32],
+        u: &mut [f32],
+        drive_mask: &[u32],
+        w: &[f32],
+        inv_charge: &[f32],
+        inv_ready_up: &[f32],
+        inv_relax: &[f32],
+        inv_ready_down: &[f32],
+        delta: &[f32],
+        dt: f32,
+        contrib: &mut [f32],
+    ) {
+        let n = x.len();
+        let one = _mm256_set1_ps(1.0);
+        let zero = _mm256_setzero_ps();
+        let sign = _mm256_set1_ps(-0.0);
+        let hdt = _mm256_set1_ps(0.5 * dt);
+        let dtv = _mm256_set1_ps(dt);
+        let clamp01 = |v: __m256| _mm256_min_ps(_mm256_max_ps(v, zero), one);
+        let mut p = 0;
+        while p + 8 <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(p));
+            let uv = _mm256_loadu_ps(u.as_ptr().add(p));
+            let mask = _mm256_loadu_ps(drive_mask.as_ptr().add(p) as *const f32);
+            let icv = _mm256_loadu_ps(inv_charge.as_ptr().add(p));
+            let iuv = _mm256_loadu_ps(inv_ready_up.as_ptr().add(p));
+            let irv = _mm256_loadu_ps(inv_relax.as_ptr().add(p));
+            let idv = _mm256_loadu_ps(inv_ready_down.as_ptr().add(p));
+            let dev = _mm256_loadu_ps(delta.as_ptr().add(p));
+            let derivs = |xs: __m256, us: __m256| -> (__m256, __m256) {
+                let dx_on = _mm256_mul_ps(_mm256_mul_ps(_mm256_sub_ps(one, xs), us), icv);
+                let du_on = _mm256_mul_ps(_mm256_sub_ps(one, us), iuv);
+                let dx_off = _mm256_mul_ps(
+                    _mm256_mul_ps(
+                        _mm256_xor_ps(xs, sign),
+                        _mm256_add_ps(_mm256_sub_ps(one, xs), dev),
+                    ),
+                    irv,
+                );
+                let du_off = _mm256_mul_ps(_mm256_xor_ps(us, sign), idv);
+                (
+                    _mm256_blendv_ps(dx_off, dx_on, mask),
+                    _mm256_blendv_ps(du_off, du_on, mask),
+                )
+            };
+            let (dx1, du1) = derivs(xv, uv);
+            let mx = clamp01(_mm256_add_ps(xv, _mm256_mul_ps(hdt, dx1)));
+            let mu = clamp01(_mm256_add_ps(uv, _mm256_mul_ps(hdt, du1)));
+            let (dx2, du2) = derivs(mx, mu);
+            let xn = clamp01(_mm256_add_ps(xv, _mm256_mul_ps(dtv, dx2)));
+            let un = clamp01(_mm256_add_ps(uv, _mm256_mul_ps(dtv, du2)));
+            _mm256_storeu_ps(x.as_mut_ptr().add(p), xn);
+            _mm256_storeu_ps(u.as_mut_ptr().add(p), un);
+            let g = _mm256_sub_ps(_mm256_mul_ps(_mm256_set1_ps(2.0), xn), one);
+            _mm256_storeu_ps(
+                contrib.as_mut_ptr().add(p),
+                _mm256_mul_ps(_mm256_loadu_ps(w.as_ptr().add(p)), g),
+            );
+            p += 8;
+        }
+        super::lc_rk2_contrib_f32_scalar(
+            p..n,
+            x,
+            u,
+            drive_mask,
+            w,
+            inv_charge,
+            inv_ready_up,
+            inv_relax,
+            inv_ready_down,
+            delta,
+            dt,
+            contrib,
+        );
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fir_filter(taps: &[f64], x: &[C64], d: usize, out: &mut [C64]) {
+        let n = x.len();
+        let nt = taps.len();
+        // Interior outputs (every tap index in bounds): idx = i + d − k spans
+        // [i + d − (nt−1), i + d], so i ∈ [nt−1−d, n−1−d].
+        let lo = nt.saturating_sub(1).saturating_sub(d).min(n);
+        let hi = if n > d { n - 1 - d } else { 0 };
+        if n == 0 || lo >= n || hi < lo {
+            super::fir_filter_scalar(0..n, taps, x, d, out);
+            return;
+        }
+        super::fir_filter_scalar(0..lo, taps, x, d, out);
+        let xp = pf(x);
+        let op = pfm(out);
+        let mut i = lo;
+        while i + 2 <= hi + 1 {
+            let mut acc = _mm256_setzero_pd();
+            let base = i + d;
+            for (k, &t) in taps.iter().enumerate() {
+                let tv = _mm256_set1_pd(t);
+                let xv = _mm256_loadu_pd(xp.add(2 * (base - k)));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(xv, tv));
+            }
+            _mm256_storeu_pd(op.add(2 * i), acc);
+            i += 2;
+        }
+        if i <= hi {
+            // Single interior output: full window, no bounds checks needed,
+            // same ascending-k accumulation.
+            let mut acc = C64::default();
+            let base = i + d;
+            for (k, &t) in taps.iter().enumerate() {
+                acc += x[base - k] * t;
+            }
+            out[i] = acc;
+            i += 1;
+        }
+        super::fir_filter_scalar(i..n, taps, x, d, out);
+    }
+
+    /// SSE2 biquad: the `[re, im]` pair as one 2-lane vector, same
+    /// recurrence order as the scalar step. Returns the final delay state.
+    pub unsafe fn biquad_filter(c: &BiquadCoeffs, x: &[C64], out: &mut [C64]) -> (C64, C64) {
+        let n = x.len();
+        let xp = pf(x);
+        let op = pfm(out);
+        let b0 = _mm_set1_pd(c.b0);
+        let b1 = _mm_set1_pd(c.b1);
+        let b2 = _mm_set1_pd(c.b2);
+        let a1 = _mm_set1_pd(c.a1);
+        let a2 = _mm_set1_pd(c.a2);
+        let mut z1 = _mm_setzero_pd();
+        let mut z2 = _mm_setzero_pd();
+        for t in 0..n {
+            let xv = _mm_loadu_pd(xp.add(2 * t));
+            let y = _mm_add_pd(_mm_mul_pd(xv, b0), z1);
+            z1 = _mm_add_pd(_mm_sub_pd(_mm_mul_pd(xv, b1), _mm_mul_pd(y, a1)), z2);
+            z2 = _mm_sub_pd(_mm_mul_pd(xv, b2), _mm_mul_pd(y, a2));
+            _mm_storeu_pd(op.add(2 * t), y);
+        }
+        let mut s = [0.0f64; 4];
+        _mm_storeu_pd(s.as_mut_ptr(), z1);
+        _mm_storeu_pd(s.as_mut_ptr().add(2), z2);
+        (C64::new(s[0], s[1]), C64::new(s[2], s[3]))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn decimate(x: &[C64], m: usize, out: &mut [C64]) {
+        let no = out.len();
+        let xp = pf(x);
+        let op = pfm(out);
+        let inv = _mm256_set1_pd(1.0 / m as f64);
+        let mut o = 0;
+        while o + 2 <= no {
+            let mut acc = _mm256_setzero_pd();
+            let b0 = 2 * o * m;
+            let b1 = 2 * (o + 1) * m;
+            for k in 0..m {
+                acc = _mm256_add_pd(acc, pair(xp.add(b0 + 2 * k), xp.add(b1 + 2 * k)));
+            }
+            _mm256_storeu_pd(op.add(2 * o), _mm256_mul_pd(acc, inv));
+            o += 2;
+        }
+        let inv_s = 1.0 / m as f64;
+        while o < no {
+            out[o] = x[o * m..(o + 1) * m]
+                .iter()
+                .copied()
+                .sum::<C64>()
+                .scale(inv_s);
+            o += 1;
+        }
+    }
+
+    // Silence unused warnings for C32 import on future extensions.
+    #[allow(dead_code)]
+    fn _c32_marker(_: C32) {}
+}
+
+/// Sign-flip helper shared with the AVX2 module (kept here so the module can
+/// call it through `super::`).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn avx2neg(v: std::arch::x86_64::__m256d) -> std::arch::x86_64::__m256d {
+    // SAFETY: pure bitwise op, no feature requirement beyond AVX (caller is
+    // inside an avx2 target_feature region).
+    unsafe { std::arch::x86_64::_mm256_xor_pd(v, std::arch::x86_64::_mm256_set1_pd(-0.0)) }
+}
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64): the cheap element-wise subset
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use crate::complex::C64;
+    use std::arch::aarch64::*;
+
+    pub fn axpy_wr(dst: &mut [C64], src: &[C64], w: f64) {
+        let n = dst.len();
+        // SAFETY: NEON is baseline on aarch64; C64 is repr(C) [re, im].
+        unsafe {
+            let dp = dst.as_mut_ptr() as *mut f64;
+            let sp = src.as_ptr() as *const f64;
+            let wv = vdupq_n_f64(w);
+            for i in 0..n {
+                let s = vld1q_f64(sp.add(2 * i));
+                let d = vld1q_f64(dp.add(2 * i));
+                vst1q_f64(dp.add(2 * i), vaddq_f64(d, vmulq_f64(s, wv)));
+            }
+        }
+    }
+
+    pub fn sub_energy(out: &mut [C64], x: &[C64], p: &[C64]) -> f64 {
+        let n = out.len();
+        let mut e = 0.0;
+        // SAFETY: NEON is baseline on aarch64; C64 is repr(C) [re, im].
+        unsafe {
+            let op = out.as_mut_ptr() as *mut f64;
+            let xp = x.as_ptr() as *const f64;
+            let pp = p.as_ptr() as *const f64;
+            for i in 0..n {
+                let z = vsubq_f64(vld1q_f64(xp.add(2 * i)), vld1q_f64(pp.add(2 * i)));
+                vst1q_f64(op.add(2 * i), z);
+                let sq = vmulq_f64(z, z);
+                e += vgetq_lane_f64::<0>(sq) + vgetq_lane_f64::<1>(sq);
+            }
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream (no external deps).
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        }
+        fn c64(&mut self) -> C64 {
+            C64::new(self.f64(), self.f64())
+        }
+    }
+
+    fn cvec(r: &mut Lcg, n: usize) -> Vec<C64> {
+        (0..n).map(|_| r.c64()).collect()
+    }
+
+    /// Mix in the edge cases the bit-identity contract must survive.
+    fn spice(xs: &mut [C64]) {
+        if xs.len() >= 6 {
+            xs[0] = C64::new(0.0, -0.0);
+            xs[1] = C64::new(1e-310, -1e-310); // subnormals
+            xs[2] = C64::new(1e300, -1e300);
+            xs[3] = C64::new(-0.0, 0.0);
+        }
+    }
+
+    fn assert_bits_eq(a: C64, b: C64, ctx: &str) {
+        assert_eq!(
+            a.re.to_bits(),
+            b.re.to_bits(),
+            "{ctx}: re {} vs {}",
+            a.re,
+            b.re
+        );
+        assert_eq!(
+            a.im.to_bits(),
+            b.im.to_bits(),
+            "{ctx}: im {} vs {}",
+            a.im,
+            b.im
+        );
+    }
+
+    fn simd_or_skip() -> bool {
+        if !simd_available() {
+            eprintln!("skipping: no SIMD on this host");
+            return false;
+        }
+        true
+    }
+
+    #[test]
+    fn env_resolution() {
+        assert_eq!(Backend::from_env_value(Some("scalar")), Backend::Scalar);
+        assert_eq!(Backend::from_env_value(Some("f32")), Backend::F32);
+        let auto = Backend::from_env_value(None);
+        assert_eq!(auto, Backend::from_env_value(Some("auto")));
+        assert_eq!(auto, Backend::from_env_value(Some("simd")));
+        if simd_available() {
+            assert_eq!(auto, Backend::Simd);
+        } else {
+            assert_eq!(auto, Backend::Scalar);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown value")]
+    fn env_rejects_typos() {
+        let _ = Backend::from_env_value(Some("sse9"));
+    }
+
+    #[test]
+    fn axpy_bit_identical() {
+        if !simd_or_skip() {
+            return;
+        }
+        let mut r = Lcg(7);
+        for n in [0usize, 1, 2, 3, 5, 8, 20, 33] {
+            let src = {
+                let mut v = cvec(&mut r, n);
+                spice(&mut v);
+                v
+            };
+            let base = cvec(&mut r, n);
+            for w in [0.0, -0.0, 1.0, -3.5e-8, 2.7e12] {
+                let mut a = base.clone();
+                let mut b = base.clone();
+                axpy_wr(Backend::Scalar, &mut a, &src, w);
+                axpy_wr(Backend::Simd, &mut b, &src, w);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_bits_eq(*x, *y, &format!("axpy n={n} w={w}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_energy_bit_identical() {
+        if !simd_or_skip() {
+            return;
+        }
+        let mut r = Lcg(11);
+        for n in [0usize, 1, 2, 7, 20, 31] {
+            let mut x = cvec(&mut r, n);
+            spice(&mut x);
+            let p = cvec(&mut r, n);
+            let mut oa = vec![C64::default(); n];
+            let mut ob = vec![C64::default(); n];
+            let ea = sub_energy(Backend::Scalar, &mut oa, &x, &p);
+            let eb = sub_energy(Backend::Simd, &mut ob, &x, &p);
+            assert_eq!(ea.to_bits(), eb.to_bits(), "energy n={n}");
+            for (a, b) in oa.iter().zip(&ob) {
+                assert_bits_eq(*a, *b, &format!("sub n={n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn dots_bit_identical() {
+        if !simd_or_skip() {
+            return;
+        }
+        let mut r = Lcg(13);
+        for n in [0usize, 1, 3, 20, 48] {
+            let mut a = cvec(&mut r, n);
+            spice(&mut a);
+            let b0 = cvec(&mut r, n);
+            let b1 = cvec(&mut r, n);
+            let (s0, s1) = dot_conj2(Backend::Scalar, &a, &b0, &b1);
+            let (v0, v1) = dot_conj2(Backend::Simd, &a, &b0, &b1);
+            assert_bits_eq(s0, v0, &format!("dot_conj2[0] n={n}"));
+            assert_bits_eq(s1, v1, &format!("dot_conj2[1] n={n}"));
+            let (j0, j1) = (C64::new(0.25, -3.0), C64::new(-0.0, 1e-12));
+            let (s0, s1) = dotc2(Backend::Scalar, &a, &b0, &b1, j0, j1);
+            let (v0, v1) = dotc2(Backend::Simd, &a, &b0, &b1, j0, j1);
+            assert_bits_eq(s0, v0, &format!("dotc2[0] n={n}"));
+            assert_bits_eq(s1, v1, &format!("dotc2[1] n={n}"));
+        }
+    }
+
+    #[test]
+    fn ahy3_and_residual_bit_identical() {
+        if !simd_or_skip() {
+            return;
+        }
+        let mut r = Lcg(17);
+        for n in [1usize, 2, 3, 19, 48] {
+            let mut r0 = cvec(&mut r, n);
+            spice(&mut r0);
+            let r1 = cvec(&mut r, n);
+            let r2 = cvec(&mut r, n);
+            let y = cvec(&mut r, n);
+            let sa = ahy3(Backend::Scalar, &r0, &r1, &r2, &y);
+            let sb = ahy3(Backend::Simd, &r0, &r1, &r2, &y);
+            for k in 0..3 {
+                assert_bits_eq(sa[k], sb[k], &format!("ahy3[{k}] n={n}"));
+            }
+            let rows: Vec<C64> = (0..n).flat_map(|i| [r0[i], r1[i], r2[i]]).collect();
+            let sol = [r.c64(), r.c64(), r.c64()];
+            let ra = wl_fold_residual(Backend::Scalar, &rows, &sol, &y);
+            let rb = wl_fold_residual(Backend::Simd, &rows, &sol, &y);
+            assert_eq!(ra.to_bits(), rb.to_bits(), "residual n={n}");
+        }
+    }
+
+    #[test]
+    fn chol_update_bit_identical() {
+        if !simd_or_skip() {
+            return;
+        }
+        let mut r = Lcg(19);
+        for (n, j, rows) in [(5usize, 0usize, 3usize), (8, 3, 5), (8, 7, 1), (12, 6, 4)] {
+            let mut a = cvec(&mut r, rows * n);
+            spice(&mut a);
+            let mut b = a.clone();
+            let prefix = cvec(&mut r, j);
+            let inv = 0.37;
+            chol_col_update(Backend::Scalar, &mut a, n, j, &prefix, inv);
+            chol_col_update(Backend::Simd, &mut b, n, j, &prefix, inv);
+            for (x, y) in a.iter().zip(&b) {
+                assert_bits_eq(*x, *y, &format!("chol n={n} j={j} rows={rows}"));
+            }
+        }
+    }
+
+    #[test]
+    fn lc_rk2_bit_identical() {
+        if !simd_or_skip() {
+            return;
+        }
+        let mut r = Lcg(23);
+        for n in [1usize, 4, 5, 9, 32] {
+            let mut x: Vec<f64> = (0..n).map(|_| r.f64().abs()).collect();
+            let mut u: Vec<f64> = (0..n).map(|_| r.f64().abs()).collect();
+            let mask: Vec<u64> = (0..n)
+                .map(|i| if i % 3 == 0 { u64::MAX } else { 0 })
+                .collect();
+            let w: Vec<f64> = (0..n).map(|_| r.f64()).collect();
+            let ic: Vec<f64> = (0..n)
+                .map(|_| 1.0 / (8e-5 * (1.0 + 0.1 * r.f64().abs())))
+                .collect();
+            let iu: Vec<f64> = (0..n).map(|_| 1.0 / 1e-4).collect();
+            let ir: Vec<f64> = (0..n).map(|_| 1.0 / 7e-4).collect();
+            let id: Vec<f64> = (0..n).map(|_| 1.0 / 1.2e-3).collect();
+            let de: Vec<f64> = (0..n).map(|_| 0.05).collect();
+            let dt = 25e-6;
+            let (mut xa, mut ua) = (x.clone(), u.clone());
+            let mut ca = vec![0.0; n];
+            let mut cb = vec![0.0; n];
+            // Several steps to let state evolve.
+            for _ in 0..50 {
+                lc_rk2_contrib(
+                    Backend::Scalar,
+                    &mut xa,
+                    &mut ua,
+                    &mask,
+                    &w,
+                    &ic,
+                    &iu,
+                    &ir,
+                    &id,
+                    &de,
+                    dt,
+                    &mut ca,
+                );
+                lc_rk2_contrib(
+                    Backend::Simd,
+                    &mut x,
+                    &mut u,
+                    &mask,
+                    &w,
+                    &ic,
+                    &iu,
+                    &ir,
+                    &id,
+                    &de,
+                    dt,
+                    &mut cb,
+                );
+            }
+            for i in 0..n {
+                assert_eq!(xa[i].to_bits(), x[i].to_bits(), "x[{i}] n={n}");
+                assert_eq!(ua[i].to_bits(), u[i].to_bits(), "u[{i}] n={n}");
+                assert_eq!(ca[i].to_bits(), cb[i].to_bits(), "contrib[{i}] n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fir_biquad_decimate_bit_identical() {
+        if !simd_or_skip() {
+            return;
+        }
+        let mut r = Lcg(29);
+        for (n, nt) in [(1usize, 5usize), (8, 3), (64, 9), (200, 31), (10, 31)] {
+            let taps: Vec<f64> = (0..nt).map(|_| r.f64()).collect();
+            let d = (nt - 1) / 2;
+            let mut x = cvec(&mut r, n);
+            spice(&mut x);
+            let mut oa = vec![C64::default(); n];
+            let mut ob = vec![C64::default(); n];
+            fir_filter_into(Backend::Scalar, &taps, &x, d, &mut oa);
+            fir_filter_into(Backend::Simd, &taps, &x, d, &mut ob);
+            for (i, (a, b)) in oa.iter().zip(&ob).enumerate() {
+                assert_bits_eq(*a, *b, &format!("fir n={n} nt={nt} i={i}"));
+            }
+        }
+        let c = BiquadCoeffs {
+            b0: 0.2,
+            b1: 0.3,
+            b2: 0.1,
+            a1: -0.4,
+            a2: 0.25,
+        };
+        let x = cvec(&mut r, 257);
+        let mut oa = vec![C64::default(); 257];
+        let mut ob = vec![C64::default(); 257];
+        biquad_filter_into(Backend::Scalar, &c, &x, &mut oa);
+        biquad_filter_into(Backend::Simd, &c, &x, &mut ob);
+        for (a, b) in oa.iter().zip(&ob) {
+            assert_bits_eq(*a, *b, "biquad");
+        }
+        for m in [1usize, 2, 3, 7] {
+            let x = cvec(&mut r, 61);
+            let mut oa = vec![C64::default(); 61 / m];
+            let mut ob = vec![C64::default(); 61 / m];
+            decimate_into(Backend::Scalar, &x, m, &mut oa);
+            decimate_into(Backend::Simd, &x, m, &mut ob);
+            for (a, b) in oa.iter().zip(&ob) {
+                assert_bits_eq(*a, *b, &format!("decimate m={m}"));
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernels_track_f64_loosely() {
+        // The F32 tier is not bit-gated; sanity-check it stays close on
+        // well-scaled data.
+        let mut r = Lcg(31);
+        let n = 64;
+        let x64 = cvec(&mut r, n);
+        let y64 = cvec(&mut r, n);
+        let mut x32 = Vec::new();
+        let mut y32 = Vec::new();
+        narrow_c32(&x64, &mut x32);
+        narrow_c32(&y64, &mut y32);
+        let r0: Vec<C32> = x32.iter().map(|z| z.conj()).collect();
+        let r2 = vec![C32::new(1.0, 0.0); n];
+        let s32 = ahy3_f32(&r0, &x32, &r2, &y32);
+        let r0_64: Vec<C64> = x64.iter().map(|z| z.conj()).collect();
+        let r2_64 = vec![C64::new(1.0, 0.0); n];
+        let s64 = ahy3(Backend::Scalar, &r0_64, &x64, &r2_64, &y64);
+        for k in 0..3 {
+            assert!(
+                (s32[k].to_c64() - s64[k]).abs() < 1e-3 * (1.0 + s64[k].abs()),
+                "f32 ahy3[{k}] drifted: {:?} vs {}",
+                s32[k],
+                s64[k]
+            );
+        }
+    }
+}

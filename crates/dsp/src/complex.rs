@@ -14,6 +14,10 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 ///
 /// `re` carries the in-phase (0° polarization) component and `im` the
 /// quadrature (45° polarization) component when used as a receiver sample.
+///
+/// `repr(C)` guarantees the `[re, im]` layout so the kernel layer
+/// ([`crate::backend`]) can view `&[C64]` as interleaved `f64` lanes.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct C64 {
     /// Real / in-phase part.

@@ -91,22 +91,38 @@ impl Fir {
 
     /// Convolve, returning a signal of the same length as the input
     /// (zero-padded edges, group delay compensated).
+    ///
+    /// Dispatches through the process-default [`Backend`]; the SIMD interior
+    /// kernel is bit-identical to the scalar loop, so callers need no wiring
+    /// to stay reproducible.
     pub fn filter(&self, x: &[C64]) -> Vec<C64> {
-        let d = self.group_delay();
-        let n = x.len();
-        let mut y = vec![C64::default(); n];
-        for (i, yo) in y.iter_mut().enumerate() {
-            let mut acc = C64::default();
-            for (k, &t) in self.taps.iter().enumerate() {
-                // Output i aligns with input i (delay-compensated).
-                let idx = i as isize + d as isize - k as isize;
-                if idx >= 0 && (idx as usize) < n {
-                    acc += x[idx as usize] * t;
-                }
-            }
-            *yo = acc;
-        }
+        let mut y = vec![C64::default(); x.len()];
+        crate::backend::fir_filter_into(
+            crate::backend::Backend::detect(),
+            &self.taps,
+            x,
+            self.group_delay(),
+            &mut y,
+        );
         y
+    }
+
+    /// Reduced-precision convolution for the `F32` sweep tier (not
+    /// bit-gated; see DESIGN.md §13).
+    pub fn filter_f32(
+        &self,
+        x: &[crate::backend::C32],
+        taps32: &[f32],
+    ) -> Vec<crate::backend::C32> {
+        let mut y = vec![crate::backend::C32::default(); x.len()];
+        crate::backend::fir_filter_f32_into(taps32, x, self.group_delay(), &mut y);
+        y
+    }
+
+    /// The taps narrowed to f32, for [`Self::filter_f32`] callers that cache
+    /// them across buffers.
+    pub fn taps_f32(&self) -> Vec<f32> {
+        self.taps.iter().map(|&t| t as f32).collect()
     }
 
     /// Magnitude response at frequency `f` (Hz) for sample rate `fs`.
@@ -187,9 +203,35 @@ impl Biquad {
     }
 
     /// Process a whole buffer, resetting state first.
+    ///
+    /// Dispatches through the process-default [`Backend`]: the recurrence is
+    /// serial across samples, but the `[re, im]` pair runs as one 2-lane
+    /// vector, bit-identical to [`Self::step`] (purely element-wise ops in
+    /// the same order).
     pub fn filter(&mut self, x: &[C64]) -> Vec<C64> {
         self.reset();
-        x.iter().map(|&s| self.step(s)).collect()
+        let mut y = vec![C64::default(); x.len()];
+        let (z1, z2) = crate::backend::biquad_filter_into(
+            crate::backend::Backend::detect(),
+            &self.coeffs(),
+            x,
+            &mut y,
+        );
+        self.z1 = z1;
+        self.z2 = z2;
+        y
+    }
+
+    /// The normalized coefficients as a [`crate::backend::BiquadCoeffs`]
+    /// bundle (for direct kernel calls and differential tests).
+    pub fn coeffs(&self) -> crate::backend::BiquadCoeffs {
+        crate::backend::BiquadCoeffs {
+            b0: self.b0,
+            b1: self.b1,
+            b2: self.b2,
+            a1: self.a1,
+            a2: self.a2,
+        }
     }
 
     /// Clear internal state.

@@ -9,9 +9,14 @@
 //! Everything here is deterministic given explicit seeds and carries explicit
 //! sample rates; see DESIGN.md §3 for the signal model and SNR convention.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed only inside `backend`, the
+// SIMD kernel layer: every unsafe block there is an explicit-intrinsics path
+// behind runtime feature detection, pinned to its scalar oracle by
+// differential tests.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod carrier;
 pub mod complex;
 pub mod filter;
@@ -22,5 +27,6 @@ pub mod signal;
 pub mod stats;
 pub mod window;
 
+pub use backend::{Backend, C32};
 pub use complex::{C64, J};
 pub use signal::Signal;

@@ -14,6 +14,7 @@
 //! and one-sided Jacobi SVD — are the right tools; no external linear algebra
 //! crate is needed.
 
+use crate::backend::{self, Backend, C32};
 use crate::complex::C64;
 
 // ---------------------------------------------------------------------------
@@ -369,6 +370,15 @@ pub fn gauss_solve_c(a: &CMat, b: &[C64]) -> Option<Vec<C64>> {
 /// positive (the matrix is not numerically positive-definite); callers that
 /// cannot guarantee definiteness should fall back to [`gauss_solve_c`].
 pub fn chol_solve_c(a: &CMat, b: &[C64]) -> Option<Vec<C64>> {
+    chol_solve_c_with(Backend::detect(), a, b)
+}
+
+/// [`chol_solve_c`] with an explicit kernel backend. The SIMD column update
+/// is bit-identical to the scalar one (see [`crate::backend`]), so every
+/// caller gets the same factorization regardless of tier; the `F32` tier
+/// deliberately keeps this solve in f64 — it feeds decision-critical
+/// equalizer taps.
+pub fn chol_solve_c_with(bk: Backend, a: &CMat, b: &[C64]) -> Option<Vec<C64>> {
     assert_eq!(a.rows(), a.cols(), "chol_solve_c: matrix must be square");
     assert_eq!(a.rows(), b.len(), "chol_solve_c: rhs length mismatch");
     let n = a.rows();
@@ -388,14 +398,9 @@ pub fn chol_solve_c(a: &CMat, b: &[C64]) -> Option<Vec<C64>> {
         }
         let ljj = d.sqrt();
         row_j[j] = C64::real(ljj);
-        let prefix_j = &row_j[..j];
-        for row_i in below.chunks_exact_mut(n) {
-            let mut s = row_i[j];
-            for (&x, &y) in row_i[..j].iter().zip(prefix_j) {
-                s -= x * y.conj();
-            }
-            row_i[j] = s / ljj;
-        }
+        // `s / ljj` is `s.scale(1.0 / ljj)` (see `Div<f64> for C64`), so the
+        // reciprocal can be hoisted without changing a bit.
+        backend::chol_col_update(bk, below, n, j, &row_j[..j], 1.0 / ljj);
     }
     // Forward solve L·y = b, then back solve Lᴴ·x = y.
     let mut y = b.to_vec();
@@ -508,6 +513,10 @@ pub struct WidelyLinearGram {
     a: CMat,
     ah: CMat,
     aha_ridged: CMat,
+    /// f32 mirror of `a.data` (row-major n×3) for [`Self::fit_f32`].
+    a32: Vec<C32>,
+    /// f32 mirror of `ah.data` (3 rows of n) for [`Self::fit_f32`].
+    ah32: Vec<C32>,
 }
 
 impl WidelyLinearGram {
@@ -533,10 +542,14 @@ impl WidelyLinearGram {
         for i in 0..aha.rows() {
             aha[(i, i)] += C64::real(ridge);
         }
+        let a32 = a.data.iter().map(|&z| C32::from(z)).collect();
+        let ah32 = ah.data.iter().map(|&z| C32::from(z)).collect();
         Self {
             a,
             ah,
             aha_ridged: aha,
+            a32,
+            ah32,
         }
     }
 
@@ -552,6 +565,15 @@ impl WidelyLinearGram {
     /// # Panics
     /// Panics if `y.len() != self.n_samples()`.
     pub fn fit(&self, y: &[C64]) -> WidelyLinearFit {
+        self.fit_with(Backend::detect(), y)
+    }
+
+    /// [`Self::fit`] with an explicit kernel backend. The SIMD `Aᴴy` and
+    /// residual kernels are bit-identical to the scalar fused loops (see
+    /// [`crate::backend`]), which in turn match `CMat::matvec` / `dist_sqr`
+    /// fold order — so this stays bit-identical to `widely_linear_fit` on
+    /// every tier.
+    pub fn fit_with(&self, bk: Backend, y: &[C64]) -> WidelyLinearFit {
         assert_eq!(y.len(), self.a.rows(), "WidelyLinearGram::fit: length");
         let n = y.len();
         // Aᴴy fused into one pass over y with one accumulator per row. Each
@@ -561,23 +583,44 @@ impl WidelyLinearGram {
         // materialising the result vector.
         let (r0, r12) = self.ah.data.split_at(n);
         let (r1, r2) = r12.split_at(n);
-        let mut ahb = [C64::default(); 3];
-        for (((&a0, &a1), &a2), &yj) in r0.iter().zip(r1).zip(r2).zip(y) {
-            ahb[0] += a0 * yj;
-            ahb[1] += a1 * yj;
-            ahb[2] += a2 * yj;
-        }
+        let ahb = backend::ahy3(bk, r0, r1, r2, y);
         let sol = gauss_solve_c(&self.aha_ridged, &ahb).unwrap_or_else(|| vec![C64::default(); 3]);
         // Fitted value and residual fused into one pass: each row's fitted
         // sample folds the stored design coefficients in matvec order, and
         // the residual accumulates `(fitted − y)` squared distances in the
         // same ascending order as `dist_sqr` — again bit-identical, with no
         // n-length temporary.
-        let mut residual = 0.0;
-        for (row, &yi) in self.a.data.chunks_exact(3).zip(y) {
-            let f = C64::default() + row[0] * sol[0] + row[1] * sol[1] + row[2] * sol[2];
-            residual += (f - yi).norm_sqr();
+        let sol3 = [sol[0], sol[1], sol[2]];
+        let residual = backend::wl_fold_residual(bk, &self.a.data, &sol3, y);
+        WidelyLinearFit {
+            a: sol[0],
+            b: sol[1],
+            c: sol[2],
+            residual,
         }
+    }
+
+    /// Reduced-precision fit for the [`Backend::F32`] sweep tier: the n-long
+    /// `Aᴴy` and residual passes run in f32 against the precomputed f32
+    /// design mirrors; the 3×3 solve stays in f64 (it is O(1) and
+    /// conditioning-sensitive). **Not** bit-identical to [`Self::fit`] — the
+    /// tier is accepted by the end-to-end fig16a BER-delta gate instead
+    /// (DESIGN.md §13). `y32` is scratch for the narrowed window, reused
+    /// across calls.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != self.n_samples()`.
+    pub fn fit_f32(&self, y: &[C64], y32: &mut Vec<C32>) -> WidelyLinearFit {
+        assert_eq!(y.len(), self.a.rows(), "WidelyLinearGram::fit_f32: length");
+        let n = y.len();
+        backend::narrow_c32(y, y32);
+        let (r0, r12) = self.ah32.split_at(n);
+        let (r1, r2) = r12.split_at(n);
+        let ahb32 = backend::ahy3_f32(r0, r1, r2, y32);
+        let ahb = [ahb32[0].to_c64(), ahb32[1].to_c64(), ahb32[2].to_c64()];
+        let sol = gauss_solve_c(&self.aha_ridged, &ahb).unwrap_or_else(|| vec![C64::default(); 3]);
+        let sol32 = [C32::from(sol[0]), C32::from(sol[1]), C32::from(sol[2])];
+        let residual = backend::wl_fold_residual_f32(&self.a32, &sol32, y32) as f64;
         WidelyLinearFit {
             a: sol[0],
             b: sol[1],

@@ -150,3 +150,160 @@ proptest! {
         prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
     }
 }
+
+// --- Backend differential suite: filter chain across tiers -----------------
+//
+// The Simd tier's contract is bit-identity with the Scalar tier over ANY
+// input, not just the committed fixtures — including denormal-magnitude
+// samples (where a flush-to-zero vector unit would diverge) and huge
+// magnitudes near the overflow edge. The F32 tier's contract is only loose
+// tracking, asserted here with a relative bound; its end-to-end accuracy
+// gate lives in the sim crate's BER-delta test.
+
+use retroturbo_dsp::backend::{self, Backend, BiquadCoeffs, C32};
+use retroturbo_dsp::filter::{Biquad, Fir};
+
+/// A sample component spanning normal, denormal, zero, and huge magnitudes
+/// (the compat proptest has no `prop_oneof`, so edge values are picked by
+/// index with a 10/16 weight on the normal range).
+fn edge_component() -> impl Strategy<Value = f64> {
+    (0usize..16, -10.0f64..10.0).prop_map(|(k, v)| match k {
+        0 => 1e-320,
+        1 => -1e-320,
+        2 => 5e-324,
+        3 => 0.0,
+        4 => 1e100,
+        5 => -1e100,
+        _ => v,
+    })
+}
+
+/// Complex samples spanning normal, denormal, and near-overflow magnitudes.
+fn c64_edges() -> impl Strategy<Value = C64> {
+    (edge_component(), edge_component()).prop_map(|(r, i)| C64::new(r, i))
+}
+
+/// Stable-by-construction biquad coefficients: poles at radius < 0.98.
+fn biquad_coeffs() -> impl Strategy<Value = BiquadCoeffs> {
+    (
+        -2.0f64..2.0,
+        -2.0f64..2.0,
+        -2.0f64..2.0,
+        0.0f64..0.98,
+        0.0f64..std::f64::consts::PI,
+    )
+        .prop_map(|(b0, b1, b2, r, th)| BiquadCoeffs {
+            b0,
+            b1,
+            b2,
+            a1: -2.0 * r * th.cos(),
+            a2: r * r,
+        })
+}
+
+fn bits(xs: &[C64]) -> Vec<(u64, u64)> {
+    xs.iter()
+        .map(|z| (z.re.to_bits(), z.im.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FIR: the SIMD kernel must match the scalar kernel bit-for-bit on
+    /// random taps and edge-magnitude signals, and the dispatching `Fir`
+    /// wrapper must land on the same bits regardless of the detected tier.
+    #[test]
+    fn fir_simd_bit_identical_to_scalar(
+        taps in proptest::collection::vec(-2.0f64..2.0, 1..24),
+        xs in proptest::collection::vec(c64_edges(), 1..96),
+    ) {
+        let fir = Fir::new(taps);
+        let d = fir.group_delay();
+        let mut y_s = vec![C64::default(); xs.len()];
+        let mut y_v = vec![C64::default(); xs.len()];
+        backend::fir_filter_into(Backend::Scalar, fir.taps(), &xs, d, &mut y_s);
+        backend::fir_filter_into(Backend::Simd, fir.taps(), &xs, d, &mut y_v);
+        prop_assert_eq!(bits(&y_s), bits(&y_v));
+        prop_assert_eq!(bits(&fir.filter(&xs)), bits(&y_s));
+    }
+
+    /// Biquad: the vectorized recurrence must match both the scalar kernel
+    /// and the literal per-sample `step` loop bit-for-bit, including the
+    /// returned final delay-line state.
+    #[test]
+    fn biquad_simd_bit_identical_to_step_loop(
+        c in biquad_coeffs(),
+        xs in proptest::collection::vec(c64_edges(), 1..96),
+    ) {
+        let mut y_s = vec![C64::default(); xs.len()];
+        let mut y_v = vec![C64::default(); xs.len()];
+        let st_s = backend::biquad_filter_into(Backend::Scalar, &c, &xs, &mut y_s);
+        let st_v = backend::biquad_filter_into(Backend::Simd, &c, &xs, &mut y_v);
+        prop_assert_eq!(bits(&y_s), bits(&y_v));
+        prop_assert_eq!(bits(&[st_s.0, st_s.1]), bits(&[st_v.0, st_v.1]));
+        // Independent oracle: the per-sample step loop.
+        let mut bq = Biquad::new(c.b0, c.b1, c.b2, c.a1, c.a2);
+        let y_ref: Vec<C64> = xs.iter().map(|&x| bq.step(x)).collect();
+        prop_assert_eq!(bits(&y_ref), bits(&y_s));
+    }
+
+    /// Boxcar decimator: SIMD vs scalar bit-identity, anchored to the
+    /// `resample::decimate` reference.
+    #[test]
+    fn decimate_simd_bit_identical_to_scalar(
+        m in 1usize..8,
+        xs in proptest::collection::vec(c64_edges(), 8..96),
+    ) {
+        prop_assume!(xs.len() / m >= 1);
+        let mut y_s = vec![C64::default(); xs.len() / m];
+        let mut y_v = vec![C64::default(); xs.len() / m];
+        backend::decimate_into(Backend::Scalar, &xs, m, &mut y_s);
+        backend::decimate_into(Backend::Simd, &xs, m, &mut y_v);
+        prop_assert_eq!(bits(&y_s), bits(&y_v));
+        let r = decimate(&Signal::new(xs.clone(), 40_000.0), m);
+        prop_assert_eq!(bits(r.samples()), bits(&y_s));
+    }
+
+    /// F32 tier: loose tracking only, on well-conditioned inputs — relative
+    /// error bounded by f32 epsilon headroom, never bit-compared.
+    #[test]
+    fn fir_f32_tracks_f64(
+        taps in proptest::collection::vec(-1.0f64..1.0, 1..24),
+        xs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..96),
+    ) {
+        let xs: Vec<C64> = xs.into_iter().map(|(r, i)| C64::new(r, i)).collect();
+        let fir = Fir::new(taps);
+        let d = fir.group_delay();
+        let mut y64 = vec![C64::default(); xs.len()];
+        backend::fir_filter_into(Backend::Scalar, fir.taps(), &xs, d, &mut y64);
+        let mut x32: Vec<C32> = Vec::new();
+        backend::narrow_c32(&xs, &mut x32);
+        let y32 = fir.filter_f32(&x32, &fir.taps_f32());
+        let scale = y64.iter().map(|z| z.re.abs().max(z.im.abs())).fold(1.0, f64::max);
+        for (a, b) in y64.iter().zip(&y32) {
+            prop_assert!((a.re - b.re as f64).abs() <= 1e-3 * scale);
+            prop_assert!((a.im - b.im as f64).abs() <= 1e-3 * scale);
+        }
+    }
+
+    /// F32 biquad: same loose-tracking contract as the FIR.
+    #[test]
+    fn biquad_f32_tracks_f64(
+        c in biquad_coeffs(),
+        xs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..96),
+    ) {
+        let xs: Vec<C64> = xs.into_iter().map(|(r, i)| C64::new(r, i)).collect();
+        let mut y64 = vec![C64::default(); xs.len()];
+        backend::biquad_filter_into(Backend::Scalar, &c, &xs, &mut y64);
+        let mut x32: Vec<C32> = Vec::new();
+        backend::narrow_c32(&xs, &mut x32);
+        let mut y32 = vec![C32::default(); xs.len()];
+        backend::biquad_filter_f32_into(&c, &x32, &mut y32);
+        let scale = y64.iter().map(|z| z.re.abs().max(z.im.abs())).fold(1.0, f64::max);
+        for (a, b) in y64.iter().zip(&y32) {
+            prop_assert!((a.re - b.re as f64).abs() <= 1e-2 * scale);
+            prop_assert!((a.im - b.im as f64).abs() <= 1e-2 * scale);
+        }
+    }
+}

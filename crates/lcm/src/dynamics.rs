@@ -106,11 +106,11 @@ impl LcState {
 /// every step, because IEEE division is deterministic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LcRates {
-    inv_charge: f64,
-    inv_ready_up: f64,
-    inv_relax: f64,
-    inv_ready_down: f64,
-    delta: f64,
+    pub(crate) inv_charge: f64,
+    pub(crate) inv_ready_up: f64,
+    pub(crate) inv_relax: f64,
+    pub(crate) inv_ready_down: f64,
+    pub(crate) delta: f64,
 }
 
 impl LcRates {

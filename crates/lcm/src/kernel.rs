@@ -28,9 +28,9 @@
 //! in module order — the same sequence the reference's `sum::<f64>()` /
 //! `sum::<C64>()` perform. Differential tests (unit + proptest) enforce this.
 
-use crate::dynamics::{step_rates, LcRates, LcState};
+use crate::dynamics::{LcRates, LcState};
 use crate::panel::{DriveCommand, Panel};
-use retroturbo_dsp::C64;
+use retroturbo_dsp::{backend, Backend, C64};
 use retroturbo_optics::PolAngle;
 
 /// Flat struct-of-arrays panel state with precomputed optics coefficients.
@@ -44,10 +44,37 @@ pub struct PanelKernel {
     x: Vec<f64>,
     u: Vec<f64>,
     driven: Vec<bool>,
+    /// `driven` as full-width lane masks (`u64::MAX` / `0`) for the
+    /// branch-free vector RK2 (`blendv` selects by sign bit); kept in sync
+    /// with `driven` by [`Self::set_level`] / [`Self::restore`].
+    drive_mask: Vec<u64>,
     weight: Vec<f64>,
-    /// Per-pixel reciprocal time constants: `LcRates::new` of the pixel's
-    /// [`LcParams`], cached once so the per-sample RK2 never divides.
-    rates: Vec<LcRates>,
+    /// Per-pixel reciprocal time constants (`LcRates::new` of the pixel's
+    /// [`LcParams`]) stored struct-of-arrays so the vector kernel loads each
+    /// constant as a contiguous lane; cached once so the per-sample RK2
+    /// never divides.
+    inv_charge: Vec<f64>,
+    inv_ready_up: Vec<f64>,
+    inv_relax: Vec<f64>,
+    inv_ready_down: Vec<f64>,
+    delta: Vec<f64>,
+    /// Per-pixel weighted contrast `w·(2x−1)` of the current sample. Staging
+    /// the per-pixel values here (instead of accumulating inline) keeps the
+    /// RK2 branch-free and vector-wide; the module fold afterwards replays
+    /// the reference's exact `acc += contrib[p]` order, so nothing changes
+    /// bit-wise.
+    contrib: Vec<f64>,
+    // --- reduced-precision mirrors for the F32 tier ---
+    x32: Vec<f32>,
+    u32: Vec<f32>,
+    drive_mask32: Vec<u32>,
+    weight32: Vec<f32>,
+    inv_charge32: Vec<f32>,
+    inv_ready_up32: Vec<f32>,
+    inv_relax32: Vec<f32>,
+    inv_ready_down32: Vec<f32>,
+    delta32: Vec<f32>,
+    contrib32: Vec<f32>,
     // --- construction-time snapshot for restore() ---
     snap_x: Vec<f64>,
     snap_u: Vec<f64>,
@@ -57,8 +84,15 @@ pub struct PanelKernel {
     /// this per module per sample).
     coeff: Vec<C64>,
     gain: Vec<f64>,
+    /// `coeff`/`gain` narrowed to f32 for the F32 module fold.
+    coeff32: Vec<(f32, f32)>,
+    gain32: Vec<f32>,
     /// Pixel range of module `m` is `pixel_start[m]..pixel_start[m + 1]`.
     pixel_start: Vec<usize>,
+    /// Kernel backend. `Scalar` and `Simd` are bit-identical to
+    /// [`Panel::simulate_reference`]; `F32` integrates the pixel ODEs in
+    /// reduced precision (8-wide) and is gated end-to-end, not bit-wise.
+    backend: Backend,
 }
 
 impl PanelKernel {
@@ -72,33 +106,79 @@ impl PanelKernel {
             x: Vec::new(),
             u: Vec::new(),
             driven: Vec::new(),
+            drive_mask: Vec::new(),
             weight: Vec::new(),
-            rates: Vec::new(),
+            inv_charge: Vec::new(),
+            inv_ready_up: Vec::new(),
+            inv_relax: Vec::new(),
+            inv_ready_down: Vec::new(),
+            delta: Vec::new(),
+            contrib: Vec::new(),
+            x32: Vec::new(),
+            u32: Vec::new(),
+            drive_mask32: Vec::new(),
+            weight32: Vec::new(),
+            inv_charge32: Vec::new(),
+            inv_ready_up32: Vec::new(),
+            inv_relax32: Vec::new(),
+            inv_ready_down32: Vec::new(),
+            delta32: Vec::new(),
+            contrib32: Vec::new(),
             snap_x: Vec::new(),
             snap_u: Vec::new(),
             snap_driven: Vec::new(),
             coeff: Vec::with_capacity(n_modules),
             gain: Vec::with_capacity(n_modules),
+            coeff32: Vec::with_capacity(n_modules),
+            gain32: Vec::with_capacity(n_modules),
             pixel_start: Vec::with_capacity(n_modules + 1),
+            backend: Backend::detect(),
         };
         for m in 0..n_modules {
             let bank = panel.module(m);
             k.pixel_start.push(k.x.len());
-            k.coeff.push(retroturbo_optics::axis(bank.angle, zero_axis));
+            let c = retroturbo_optics::axis(bank.angle, zero_axis);
+            k.coeff.push(c);
             k.gain.push(bank.gain);
+            k.coeff32.push((c.re as f32, c.im as f32));
+            k.gain32.push(bank.gain as f32);
             for p in bank.pixels() {
                 k.x.push(p.state.x);
                 k.u.push(p.state.u);
                 k.driven.push(p.driven);
+                k.drive_mask.push(if p.driven { u64::MAX } else { 0 });
                 k.weight.push(p.weight);
-                k.rates.push(LcRates::new(&p.params));
+                let r = LcRates::new(&p.params);
+                k.inv_charge.push(r.inv_charge);
+                k.inv_ready_up.push(r.inv_ready_up);
+                k.inv_relax.push(r.inv_relax);
+                k.inv_ready_down.push(r.inv_ready_down);
+                k.delta.push(r.delta);
             }
         }
         k.pixel_start.push(k.x.len());
+        let n = k.x.len();
+        k.contrib = vec![0.0; n];
+        k.x32 = k.x.iter().map(|&v| v as f32).collect();
+        k.u32 = k.u.iter().map(|&v| v as f32).collect();
+        k.drive_mask32 = k.drive_mask.iter().map(|&m| m as u32).collect();
+        k.weight32 = k.weight.iter().map(|&v| v as f32).collect();
+        k.inv_charge32 = k.inv_charge.iter().map(|&v| v as f32).collect();
+        k.inv_ready_up32 = k.inv_ready_up.iter().map(|&v| v as f32).collect();
+        k.inv_relax32 = k.inv_relax.iter().map(|&v| v as f32).collect();
+        k.inv_ready_down32 = k.inv_ready_down.iter().map(|&v| v as f32).collect();
+        k.delta32 = k.delta.iter().map(|&v| v as f32).collect();
+        k.contrib32 = vec![0.0; n];
         k.snap_x = k.x.clone();
         k.snap_u = k.u.clone();
         k.snap_driven = k.driven.clone();
         k
+    }
+
+    /// Replace the kernel backend (default: [`Backend::detect`]).
+    pub fn with_backend(mut self, bk: Backend) -> Self {
+        self.backend = bk;
+        self
     }
 
     /// Restore the pixel state captured at construction (the snapshot/restore
@@ -107,6 +187,12 @@ impl PanelKernel {
         self.x.copy_from_slice(&self.snap_x);
         self.u.copy_from_slice(&self.snap_u);
         self.driven.copy_from_slice(&self.snap_driven);
+        for p in 0..self.driven.len() {
+            self.drive_mask[p] = if self.driven[p] { u64::MAX } else { 0 };
+            self.drive_mask32[p] = self.drive_mask[p] as u32;
+            self.x32[p] = self.x[p] as f32;
+            self.u32[p] = self.u[p] as f32;
+        }
     }
 
     /// Number of modules.
@@ -125,7 +211,10 @@ impl PanelKernel {
         let bits = hi - lo;
         assert!(level < (1usize << bits), "set_level: {level} out of range");
         for k in 0..bits {
-            self.driven[lo + k] = (level >> (bits - 1 - k)) & 1 == 1;
+            let on = (level >> (bits - 1 - k)) & 1 == 1;
+            self.driven[lo + k] = on;
+            self.drive_mask[lo + k] = if on { u64::MAX } else { 0 };
+            self.drive_mask32[lo + k] = if on { u32::MAX } else { 0 };
         }
     }
 
@@ -158,6 +247,14 @@ impl PanelKernel {
             self.run_segment(s, seg_end, dt, out);
             s = seg_end;
         }
+        if self.backend == Backend::F32 {
+            // The F32 tier integrates in the f32 mirrors; widen back so
+            // `write_back` (and a later f64-tier run) sees the live state.
+            for p in 0..self.x.len() {
+                self.x[p] = self.x32[p] as f64;
+                self.u[p] = self.u32[p] as f64;
+            }
+        }
     }
 
     /// Branch-free run over `[s0, s1)` with the reference's exact
@@ -167,31 +264,76 @@ impl PanelKernel {
     /// (the reference pushes it) — never accumulated into, so a `−0.0`
     /// component survives bit-exactly.
     fn run_segment(&mut self, s0: usize, s1: usize, dt: f64, out: &mut [C64]) {
+        if self.backend == Backend::F32 {
+            self.run_segment_f32(s0, s1, dt as f32, out);
+            return;
+        }
         let n_modules = self.coeff.len();
         for o in &mut out[s0..s1] {
+            // All pixels advance one RK2 step, staging `w·(2x−1)` per pixel.
+            // The vector path is bit-identical to the scalar one (see
+            // `retroturbo_dsp::backend`), and staging does not reorder any
+            // addition: the fold below replays the reference's exact
+            // `acc += w·(2x−1)` sequence, pixels most-significant-first.
+            backend::lc_rk2_contrib(
+                self.backend,
+                &mut self.x,
+                &mut self.u,
+                &self.drive_mask,
+                &self.weight,
+                &self.inv_charge,
+                &self.inv_ready_up,
+                &self.inv_relax,
+                &self.inv_ready_down,
+                &self.delta,
+                dt,
+                &mut self.contrib,
+            );
             let mut z = C64::new(0.0, 0.0);
             for m in 0..n_modules {
                 let mut acc = 0.0;
                 for p in self.pixel_start[m]..self.pixel_start[m + 1] {
-                    let st = step_rates(
-                        &self.rates[p],
-                        LcState {
-                            x: self.x[p],
-                            u: self.u[p],
-                        },
-                        self.driven[p],
-                        dt,
-                    );
-                    self.x[p] = st.x;
-                    self.u[p] = st.u;
-                    // LcPixel::output(): weight · (2x − 1).
-                    acc += self.weight[p] * (2.0 * st.x - 1.0);
+                    acc += self.contrib[p];
                 }
                 // Same operand order as the reference's
                 // `axis(...) * bank.output()`: C64 · (gain · Σ).
                 z += self.coeff[m] * (self.gain[m] * acc);
             }
             *o = z;
+        }
+    }
+
+    /// Reduced-precision segment run: the pixel ODEs integrate in the f32
+    /// mirrors (twice the lanes per step) and the module fold runs in f32,
+    /// widening only the final sample. Not bit-gated — the sweep tier is
+    /// validated end-to-end by the fig16a BER-delta gate (DESIGN.md §13).
+    fn run_segment_f32(&mut self, s0: usize, s1: usize, dt: f32, out: &mut [C64]) {
+        let n_modules = self.coeff.len();
+        for o in &mut out[s0..s1] {
+            backend::lc_rk2_contrib_f32(
+                &mut self.x32,
+                &mut self.u32,
+                &self.drive_mask32,
+                &self.weight32,
+                &self.inv_charge32,
+                &self.inv_ready_up32,
+                &self.inv_relax32,
+                &self.inv_ready_down32,
+                &self.delta32,
+                dt,
+                &mut self.contrib32,
+            );
+            let (mut zr, mut zi) = (0.0f32, 0.0f32);
+            for m in 0..n_modules {
+                let mut acc = 0.0f32;
+                for p in self.pixel_start[m]..self.pixel_start[m + 1] {
+                    acc += self.contrib32[p];
+                }
+                let s = self.gain32[m] * acc;
+                zr += self.coeff32[m].0 * s;
+                zi += self.coeff32[m].1 * s;
+            }
+            *o = C64::new(zr as f64, zi as f64);
         }
     }
 
@@ -397,6 +539,56 @@ mod tests {
         let ref_sig = p_ref.simulate_reference(&cmds, n, FS);
         let soa_sig = p_soa.simulate(&cmds, n, FS);
         assert_eq!(bits_of(ref_sig.samples()), bits_of(soa_sig.samples()));
+    }
+
+    #[test]
+    fn simd_backend_bit_identical_to_scalar() {
+        if !backend::simd_available() {
+            eprintln!("skipping: SIMD backend unavailable on this host");
+            return;
+        }
+        let p = Panel::retroturbo(2, 4, LcParams::default(), Heterogeneity::typical(), 11);
+        let cmds = demo_commands();
+        let mut ks = PanelKernel::from_panel(&p).with_backend(Backend::Scalar);
+        let mut kv = PanelKernel::from_panel(&p).with_backend(Backend::Simd);
+        let mut a = vec![C64::new(0.0, 0.0); 900];
+        let mut b = a.clone();
+        ks.simulate_into(&cmds, FS, &mut a);
+        kv.simulate_into(&cmds, FS, &mut b);
+        assert_eq!(bits_of(&a), bits_of(&b));
+        let sb = |k: &PanelKernel| -> Vec<(u64, u64)> {
+            k.x.iter()
+                .zip(&k.u)
+                .map(|(x, u)| (x.to_bits(), u.to_bits()))
+                .collect()
+        };
+        assert_eq!(sb(&ks), sb(&kv), "end state diverged");
+    }
+
+    #[test]
+    fn f32_tier_tracks_f64() {
+        let p = Panel::retroturbo(2, 4, LcParams::default(), Heterogeneity::typical(), 7);
+        let cmds = demo_commands();
+        let mut kf = PanelKernel::from_panel(&p).with_backend(Backend::Scalar);
+        let mut k32 = PanelKernel::from_panel(&p).with_backend(Backend::F32);
+        let mut a = vec![C64::new(0.0, 0.0); 900];
+        let mut b = a.clone();
+        kf.simulate_into(&cmds, FS, &mut a);
+        k32.simulate_into(&cmds, FS, &mut b);
+        // Outputs are O(1); f32 integration over ~1k steps stays within a
+        // few ULP-of-f32 per step of drift.
+        for (i, (za, zb)) in a.iter().zip(&b).enumerate() {
+            assert!(
+                (*za - *zb).abs() < 1e-3,
+                "sample {i}: f64 {za:?} vs f32 {zb:?}"
+            );
+        }
+        // restore() must reset the f32 mirrors too: a second run is
+        // bit-identical to the first.
+        k32.restore();
+        let mut c = vec![C64::new(0.0, 0.0); 900];
+        k32.simulate_into(&cmds, FS, &mut c);
+        assert_eq!(bits_of(&b), bits_of(&c));
     }
 
     #[test]

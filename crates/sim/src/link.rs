@@ -10,7 +10,7 @@ use crate::link_budget::LinkBudget;
 use crate::scene::Scene;
 use retroturbo_core::{Modulator, PhyConfig, Receiver, RxError};
 use retroturbo_dsp::noise::{sigma_for_snr, NoiseSource};
-use retroturbo_dsp::{Signal, C64};
+use retroturbo_dsp::{Backend, Signal, C64};
 use retroturbo_lcm::{Heterogeneity, LcParams, Panel, PanelKernel};
 use retroturbo_optics::retro::{yaw_pixel_skew, Retroreflector};
 
@@ -74,6 +74,8 @@ pub struct LinkSimulator {
     last_symbols: Vec<retroturbo_core::PqamSymbol>,
     /// Lazily-built scratch reused by the single-packet entry points.
     scratch: Option<PacketScratch>,
+    /// Kernel backend for the panel ODE and the receiver stages.
+    backend: Backend,
 }
 
 impl LinkSimulator {
@@ -113,7 +115,19 @@ impl LinkSimulator {
             last_offset: None,
             last_symbols: Vec::new(),
             scratch: None,
+            backend: Backend::detect(),
         }
+    }
+
+    /// Replace the kernel backend on the tag ODE kernel and every receiver
+    /// stage (default: [`Backend::detect`], overridable process-wide via
+    /// `RETROTURBO_BACKEND`). `Scalar`/`Simd` are bit-identical; `F32` is
+    /// the reduced-precision sweep tier.
+    pub fn with_backend(mut self, bk: Backend) -> Self {
+        self.backend = bk;
+        self.receiver = self.receiver.with_backend(bk);
+        self.scratch = None; // rebuilt lazily with the new backend
+        self
     }
 
     /// Override the DFE branch count.
@@ -141,6 +155,12 @@ impl LinkSimulator {
     /// The configuration in use.
     pub fn config(&self) -> &PhyConfig {
         &self.cfg
+    }
+
+    /// The kernel backend in use (for cache keys: the `F32` tier renders
+    /// different waveform bits than the bit-identical f64 tiers).
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Fingerprint of everything that shapes this simulator's *clean*
@@ -181,7 +201,7 @@ impl LinkSimulator {
     /// kernel snapshot plus the reusable channel buffer).
     pub fn make_scratch(&self) -> PacketScratch {
         PacketScratch {
-            kernel: PanelKernel::from_panel(&self.pristine_panel),
+            kernel: PanelKernel::from_panel(&self.pristine_panel).with_backend(self.backend),
             rx: Vec::new(),
         }
     }

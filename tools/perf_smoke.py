@@ -29,6 +29,17 @@ ADVISORY_FLOORS = {
     "preamble_search_gram": 2.0,
     "online_training_precomputed": 4.0,
     "waveform_renoise_cached": 10.0,
+    # SIMD-tier rows: speedup is vs the interleaved scalar run of the same
+    # kernel. Floors are deliberately loose — AVX2 gains vary with the
+    # runner's vector units, and rows are skipped entirely on hosts
+    # without SIMD support.
+    "dfe_equalize_k16_simd": 1.05,
+    "online_training_simd": 1.1,
+    "panel_ode_simd": 1.5,
+    "gram_fit_simd": 1.2,
+    "filter_chain_simd": 1.2,
+    "decimate_boxcar_simd": 1.1,
+    "run_packet_simd": 1.2,
 }
 
 # Advisory floors for (sweep, mode) rows of BENCH_sweeps.json: speedup is
@@ -40,16 +51,35 @@ SWEEP_ADVISORY_FLOORS = {
 }
 
 
+def print_meta(meta):
+    """Render the provenance block shared by both bench JSON files."""
+    feats = meta.get("cpu_features", {})
+    on = [name for name, v in sorted(feats.items()) if v]
+    print(
+        f"meta: default_backend={meta.get('default_backend', '?')} "
+        f"simd_available={meta.get('simd_available', '?')} "
+        f"cpu_features=[{', '.join(on) or 'none'}] "
+        f"quick={meta.get('quick', '?')}"
+    )
+
+
 def report_kernels(path):
     try:
         with open(path) as f:
-            rows = json.load(f)
+            data = json.load(f)
     except (OSError, ValueError) as e:
         print(f"perf-smoke: cannot read {path}: {e}", file=sys.stderr)
         return 1, []
 
+    # New shape: {"meta": {...}, "kernels": [...]}; legacy shape: bare list.
+    if isinstance(data, dict):
+        print_meta(data.get("meta", {}))
+        rows = data.get("kernels", [])
+    else:
+        rows = data
+
     header = (
-        f"{'kernel':<36} {'ns/iter':>14} {'ns/symbol':>12} "
+        f"{'kernel':<36} {'backend':<8} {'ns/iter':>14} {'ns/symbol':>12} "
         f"{'ns/point':>14} {'thr':>4} {'speedup':>8}"
     )
     print(header)
@@ -61,7 +91,8 @@ def report_kernels(path):
         ns_pt = r.get("ns_per_point")
         ns_pt_s = f"{ns_pt:>14.1f}" if isinstance(ns_pt, (int, float)) else f"{'-':>14}"
         print(
-            f"{r['kernel']:<36} {r['ns_per_iter']:>14.1f} {ns_sym_s} {ns_pt_s} "
+            f"{r['kernel']:<36} {r.get('backend', 'scalar'):<8} "
+            f"{r['ns_per_iter']:>14.1f} {ns_sym_s} {ns_pt_s} "
             f"{r.get('threads', 1):>4} {r.get('speedup', 1.0):>8.3f}"
         )
         floor = ADVISORY_FLOORS.get(r["kernel"])
@@ -77,13 +108,18 @@ def report_kernels(path):
 def report_sweeps(path):
     try:
         with open(path) as f:
-            rows = json.load(f)
+            data = json.load(f)
     except OSError:
         return []  # no sweep benchmarks in this run
     except ValueError as e:
         return [f"perf-smoke: WARNING: cannot parse {path}: {e}"]
 
     print()
+    if isinstance(data, dict):
+        print_meta(data.get("meta", {}))
+        rows = data.get("sweeps", [])
+    else:
+        rows = data
     header = (
         f"{'sweep':<16} {'mode':<16} {'thr':>4} {'points':>7} "
         f"{'ms_total':>10} {'ns/point':>14} {'speedup':>8}"
