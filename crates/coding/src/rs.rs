@@ -21,6 +21,15 @@ pub enum RsError {
     TooManyErrors,
     /// Internal inconsistency while locating/correcting (treated as failure).
     DecodeFailure,
+    /// The received word is not exactly n symbols long. A streaming service
+    /// feeds the decoder whatever framing produced, so a malformed frame
+    /// must surface as an `Err`, never a panic.
+    WrongLength {
+        /// Length of the word actually received.
+        got: usize,
+        /// The code's block length n.
+        want: usize,
+    },
 }
 
 impl std::fmt::Display for RsError {
@@ -28,6 +37,9 @@ impl std::fmt::Display for RsError {
         match self {
             RsError::TooManyErrors => write!(f, "too many symbol errors to correct"),
             RsError::DecodeFailure => write!(f, "decoder inconsistency"),
+            RsError::WrongLength { got, want } => {
+                write!(f, "received word is {got} symbols, code needs {want}")
+            }
         }
     }
 }
@@ -187,8 +199,8 @@ impl RsCode {
     /// Decode an n-symbol received word in place, returning the corrected
     /// k-symbol message and the number of symbol errors fixed.
     ///
-    /// # Panics
-    /// Panics if `recv.len() != n`.
+    /// A word that is not exactly n symbols returns
+    /// [`RsError::WrongLength`] — malformed input never panics.
     pub fn decode(&self, recv: &[u8]) -> Result<(Vec<u8>, usize), RsError> {
         let r = self.decode_impl(recv);
         telemetry::counter_inc("rs.decodes");
@@ -204,7 +216,12 @@ impl RsCode {
     }
 
     fn decode_impl(&self, recv: &[u8]) -> Result<(Vec<u8>, usize), RsError> {
-        assert_eq!(recv.len(), self.n, "decode: word must be n symbols");
+        if recv.len() != self.n {
+            return Err(RsError::WrongLength {
+                got: recv.len(),
+                want: self.n,
+            });
+        }
         let synd = self.syndromes(recv);
         if synd.iter().all(|&s| s == 0) {
             return Ok((recv[..self.k].to_vec(), 0));
@@ -304,8 +321,12 @@ impl RsCode {
     /// erasure list this is exactly the errors-only decoder (the test suite
     /// checks the two differentially).
     ///
-    /// # Panics
-    /// Panics if `recv.len() != n` or any erasure index is out of range.
+    /// A word that is not exactly n symbols returns
+    /// [`RsError::WrongLength`]. Erasure indices are validated first:
+    /// duplicates collapse and out-of-range indices (which cannot name any
+    /// received symbol) are dropped, so a garbage flag list degrades
+    /// gracefully instead of panicking. The validated flag count is
+    /// reported in [`ErasureDecode::erasures_validated`].
     pub fn decode_with_erasures(
         &self,
         recv: &[u8],
@@ -319,12 +340,12 @@ impl RsCode {
                 telemetry::counter_add("rs.erasures_filled", d.erasures_filled as u64);
                 if telemetry::enabled() {
                     // Errata margin: parity budget left over 2e + f, with f
-                    // the deduplicated flag count (flags consume budget even
-                    // when the symbol turns out correct).
-                    let mut flags: Vec<usize> = erasures.to_vec();
-                    flags.sort_unstable();
-                    flags.dedup();
-                    let spent = 2 * d.errors_corrected + flags.len();
+                    // the flag count the impl actually charged against the
+                    // budget (deduplicated, in-range) — flags consume budget
+                    // even when the symbol turns out correct, but duplicate
+                    // or out-of-range flags never did and must not skew the
+                    // published margin.
+                    let spent = 2 * d.errors_corrected + d.erasures_validated;
                     telemetry::observe(
                         "rs.errata_margin",
                         self.parity().saturating_sub(spent) as f64,
@@ -341,24 +362,22 @@ impl RsCode {
         recv: &[u8],
         erasures: &[usize],
     ) -> Result<ErasureDecode, RsError> {
-        assert_eq!(
-            recv.len(),
-            self.n,
-            "decode_with_erasures: word must be n symbols"
-        );
+        if recv.len() != self.n {
+            return Err(RsError::WrongLength {
+                got: recv.len(),
+                want: self.n,
+            });
+        }
         let gf = &self.gf;
         let two_t = self.parity();
 
-        // Deduplicate and validate the erasure set.
+        // Validate the erasure set: deduplicate, and drop out-of-range
+        // indices — they name no received symbol, so they carry no location
+        // information and must not spend budget (or abort the decode).
         let mut erase: Vec<usize> = erasures.to_vec();
         erase.sort_unstable();
         erase.dedup();
-        for &idx in &erase {
-            assert!(
-                idx < self.n,
-                "decode_with_erasures: erasure index {idx} out of range"
-            );
-        }
+        erase.retain(|&idx| idx < self.n);
         let f = erase.len();
         if f > two_t {
             return Err(RsError::TooManyErrors);
@@ -374,6 +393,7 @@ impl RsCode {
                 msg,
                 errors_corrected,
                 erasures_filled: 0,
+                erasures_validated: 0,
             });
         }
 
@@ -384,6 +404,7 @@ impl RsCode {
                 msg: recv[..self.k].to_vec(),
                 errors_corrected: 0,
                 erasures_filled: 0,
+                erasures_validated: f,
             });
         }
 
@@ -484,6 +505,7 @@ impl RsCode {
             msg: out[..self.k].to_vec(),
             errors_corrected,
             erasures_filled,
+            erasures_validated: f,
         })
     }
 }
@@ -497,6 +519,10 @@ pub struct ErasureDecode {
     pub errors_corrected: usize,
     /// Flagged (erased) symbols whose value actually changed.
     pub erasures_filled: usize,
+    /// Flags that survived validation (deduplicated, in-range) and were
+    /// charged against the `2e + f ≤ n − k` budget. This — not the caller's
+    /// raw flag count — is the `f` the decode actually paid for.
+    pub erasures_validated: usize,
 }
 
 #[cfg(test)]
@@ -803,5 +829,94 @@ mod tests {
         let d = rs.decode_with_erasures(&cw, &[7, 7, 2, 2, 7]).unwrap();
         assert_eq!(d.msg, m);
         assert_eq!(d.erasures_filled, 2);
+        assert_eq!(d.erasures_validated, 2, "dedup must collapse repeats");
+    }
+
+    /// Regression (pre-fix this was an `assert_eq!` panic): a word of the
+    /// wrong length through any public decode entry point must return
+    /// `Err(WrongLength)`, never abort — a streaming service feeds the
+    /// decoder whatever framing produced.
+    #[test]
+    fn wrong_length_word_is_an_error_not_a_panic() {
+        let rs = RsCode::new(15, 11);
+        let want = RsError::WrongLength { got: 14, want: 15 };
+        assert_eq!(rs.decode(&[0u8; 14]).unwrap_err(), want);
+        assert_eq!(rs.decode_with_erasures(&[0u8; 14], &[]).unwrap_err(), want);
+        assert_eq!(rs.decode_with_erasures(&[0u8; 14], &[3]).unwrap_err(), want);
+        let long = RsError::WrongLength { got: 16, want: 15 };
+        assert_eq!(rs.decode(&[0u8; 16]).unwrap_err(), long);
+        assert_eq!(rs.decode_with_erasures(&[0u8; 16], &[3]).unwrap_err(), long);
+        assert_eq!(
+            rs.decode(&[]).unwrap_err(),
+            RsError::WrongLength { got: 0, want: 15 }
+        );
+    }
+
+    /// Garbage words of every length (including n) must decode to `Err` or
+    /// a verified codeword — never panic.
+    #[test]
+    fn garbage_words_never_panic() {
+        let rs = RsCode::new(15, 11);
+        let mut z = 0xDEAD_BEEFu64;
+        for len in 0..32 {
+            let word: Vec<u8> = (0..len)
+                .map(|_| {
+                    z = mix(z);
+                    z as u8
+                })
+                .collect();
+            let _ = rs.decode(&word);
+            let _ = rs.decode_with_erasures(&word, &[0, 5, 500, usize::MAX]);
+        }
+    }
+
+    /// Regression (pre-fix this was an `assert!` panic): out-of-range
+    /// erasure indices name no received symbol — they are dropped by
+    /// validation, spend no budget, and leave the decode result identical
+    /// to the same call without them.
+    #[test]
+    fn out_of_range_erasure_flags_are_dropped_not_fatal() {
+        let rs = RsCode::new(15, 11); // 2t = 4
+        let m = msg(11);
+        let mut cw = rs.encode(&m);
+        cw[7] ^= 0x21;
+        cw[2] ^= 0x0F;
+        let clean = rs.decode_with_erasures(&cw, &[7, 2]).unwrap();
+        let noisy = rs
+            .decode_with_erasures(&cw, &[7, 2, 15, 99, usize::MAX, 7])
+            .unwrap();
+        assert_eq!(noisy, clean, "garbage flags changed the decode");
+        assert_eq!(noisy.erasures_validated, 2);
+        // All flags garbage: identical to the errors-only decode.
+        let none = rs.decode_with_erasures(&cw, &[200, 300]).unwrap();
+        assert_eq!(none.msg, m);
+        assert_eq!(none.erasures_validated, 0);
+        assert_eq!(none.errors_corrected, 2);
+    }
+
+    /// The errata margin is published from the validated flag count: with
+    /// 2 real erasures the budget spent is `2e + f = 2·1 + 2 = 4` whether
+    /// the caller's flag list carried duplicates and out-of-range junk or
+    /// not. `erasures_validated` (the margin's `f` input) must agree.
+    #[test]
+    fn errata_margin_input_ignores_duplicate_and_out_of_range_flags() {
+        let rs = RsCode::new(63, 51); // 2t = 12
+        let m = msg(51);
+        let mut cw = rs.encode(&m);
+        cw[10] ^= 0x40; // unflagged error (e = 1)
+        cw[20] ^= 0x11; // flagged
+        cw[30] ^= 0x2A; // flagged
+        let clean = rs.decode_with_erasures(&cw, &[20, 30]).unwrap();
+        let noisy = rs
+            .decode_with_erasures(&cw, &[30, 20, 20, 30, 63, 64, 1_000_000])
+            .unwrap();
+        assert_eq!(clean.msg, m);
+        assert_eq!(noisy, clean);
+        assert_eq!(clean.erasures_validated, 2);
+        assert_eq!(
+            2 * noisy.errors_corrected + noisy.erasures_validated,
+            4,
+            "budget spent must come from the validated set"
+        );
     }
 }

@@ -139,6 +139,12 @@ impl PreambleDetector {
         &self.reference
     }
 
+    /// Samples a fit at offset `off` reads: the settling skip plus the
+    /// match window. `fit_at(rx, off)` succeeds iff `off + span() ≤ rx.len()`.
+    pub fn span(&self) -> usize {
+        self.skip + self.reference.len()
+    }
+
     /// Fit the widely-linear map for a frame starting at `offset` (the
     /// match window itself sits `skip` samples later); returns the
     /// correction and the detection score. `None` if the window runs past

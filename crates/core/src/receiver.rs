@@ -197,8 +197,29 @@ impl Receiver {
             + self.cfg.l_order
     }
 
-    /// Receive a frame of `n_bits` payload bits from a raw signal: search
-    /// for the preamble anywhere in the stream, then decode.
+    /// Run only the preamble-detection stage: search `[from, to)` for a
+    /// frame start and return `(offset, residual score)` without decoding.
+    /// This is the streaming service's framer hook — stage one of the
+    /// staged pipeline scans the sample ring with exactly the detector the
+    /// decode stages use, so a hit here is a hit for [`Self::receive_window`]
+    /// over the same samples.
+    pub fn detect_preamble(&self, rx: &Signal, from: usize, to: usize) -> Option<(usize, f64)> {
+        let _t = telemetry::span("rx.detect");
+        self.detector
+            .detect_in(rx, from, to)
+            .map(|m| (m.offset, m.score))
+    }
+
+    /// Samples the preamble fit needs at a candidate offset: a detection at
+    /// `off` only reads `rx[off .. off + detect_span()]`. Streaming framers
+    /// use this to know which offsets of a partially-filled buffer are
+    /// fully scannable.
+    pub fn detect_span(&self) -> usize {
+        self.detector.span()
+    }
+
+    /// Receive one frame: blind preamble search over the whole signal, then
+    /// the full decode chain (training, DFE, demap) at the detected offset.
     pub fn receive(&self, rx: &Signal, n_bits: usize) -> Result<RxResult, RxError> {
         let m = {
             let _t = telemetry::span("rx.detect");

@@ -1,0 +1,176 @@
+//! Bounded MPMC queues for the stage graph.
+//!
+//! Standard-library only (mutex + two condvars); capacity is the
+//! backpressure mechanism: a full queue blocks its producer, which
+//! propagates upstream until the lossy sample ring starts degrading.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded multi-producer multi-consumer queue with blocking push/pop
+/// and an explicit close: after [`Bounded::close`], pushes fail and pops
+/// drain the remaining items before reporting exhaustion.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `cap` items (`cap ≥ 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "Bounded: capacity must be at least 1");
+        Self {
+            inner: Mutex::new(Inner {
+                q: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current occupancy (racy by nature; for observability only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().q.len()
+    }
+
+    /// Whether the queue is currently empty (racy; observability only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until there is room, then enqueue. Returns the occupancy
+    /// *after* the push (for queue-depth accounting), or `Err(item)` if
+    /// the queue was closed.
+    pub fn push(&self, item: T) -> Result<usize, T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.closed {
+                return Err(item);
+            }
+            if g.q.len() < self.cap {
+                g.q.push_back(item);
+                let depth = g.q.len();
+                drop(g);
+                self.not_empty.notify_one();
+                return Ok(depth);
+            }
+            g = self.not_full.wait(g).unwrap();
+        }
+    }
+
+    /// Block until an item is available; `None` once closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.q.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Pop up to `max` items in one lock acquisition, blocking until at
+    /// least one is available. Returns the number appended to `out`
+    /// (0 only when closed and drained). Batch dequeue is what amortizes
+    /// queue synchronisation across packets in the worker pool.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if !g.q.is_empty() {
+                let n = max.min(g.q.len()).max(1);
+                out.extend(g.q.drain(..n));
+                drop(g);
+                self.not_full.notify_all();
+                return n;
+            }
+            if g.closed {
+                return 0;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Close the queue: producers start failing, consumers drain what is
+    /// left and then see exhaustion.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = Bounded::new(4);
+        for i in 0..4 {
+            assert_eq!(q.push(i).unwrap(), i + 1);
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_drains_then_exhausts() {
+        let q = Bounded::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_batch_takes_up_to_max() {
+        let q = Bounded::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(3, &mut out), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(3, &mut out), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_queue_blocks_producer_until_a_pop() {
+        let q = Arc::new(Bounded::new(1));
+        q.push(10u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(11).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.pop(), Some(10));
+        h.join().unwrap();
+        assert_eq!(q.pop(), Some(11));
+    }
+}

@@ -1,0 +1,242 @@
+//! The ingest sample ring: a bounded, *lossy* buffer between the sample
+//! producer (an ADC front end, or the testbed feeder) and the framer stage.
+//!
+//! Real sample sources cannot wait, so [`SampleRing::push`] never blocks:
+//! when the decode side falls behind and the ring wraps, the oldest unread
+//! samples are overwritten. Lost samples are not silently dropped from the
+//! stream — the reader receives them as zeroed placeholders flagged both
+//! `unreliable` and `lost`, so downstream stages keep exact sample
+//! alignment and the receiver's quarter-slot rule turns short outages into
+//! symbol erasures (the PR 3 errors-and-erasures path) instead of
+//! misaligning whole frames. Only when loss swamps a frame does the framer
+//! drop it.
+
+use retroturbo_dsp::C64;
+use std::sync::{Condvar, Mutex};
+
+/// Aggregate ring accounting, returned by [`SampleRing::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Samples accepted from the producer.
+    pub pushed: u64,
+    /// Samples overwritten before the reader consumed them.
+    pub lost: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Sample storage, indexed by absolute position modulo capacity.
+    buf: Vec<C64>,
+    /// Producer-supplied per-sample unreliability, same indexing.
+    unreliable: Vec<bool>,
+    /// Absolute position of the next write.
+    write: u64,
+    /// Absolute position of the next *surviving* unread sample.
+    read: u64,
+    /// Overwritten-before-read samples awaiting delivery as placeholders.
+    /// Loss always eats the oldest unread positions, so the pending span
+    /// sits contiguously at the front of the unread region.
+    pending_lost: u64,
+    /// Total samples ever overwritten before being read.
+    lost: u64,
+    closed: bool,
+}
+
+/// A bounded single-reader sample ring with overwrite-oldest semantics.
+#[derive(Debug)]
+pub struct SampleRing {
+    state: Mutex<State>,
+    data_ready: Condvar,
+    cap: usize,
+}
+
+impl SampleRing {
+    /// A ring holding `cap` samples (`cap ≥ 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "SampleRing: capacity must be at least 1");
+        Self {
+            state: Mutex::new(State {
+                buf: vec![C64::new(0.0, 0.0); cap],
+                unreliable: vec![false; cap],
+                write: 0,
+                read: 0,
+                pending_lost: 0,
+                lost: 0,
+                closed: false,
+            }),
+            data_ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// The configured capacity in samples.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Append samples; never blocks. `unreliable` (same length when given)
+    /// carries front-end confidence flags alongside the samples. If the
+    /// reader is more than a full ring behind, the overrun samples become
+    /// pending loss placeholders. Returns how many samples this push
+    /// overwrote.
+    pub fn push(&self, samples: &[C64], unreliable: Option<&[bool]>) -> u64 {
+        if let Some(m) = unreliable {
+            assert_eq!(m.len(), samples.len(), "push: mask length mismatch");
+        }
+        let mut g = self.state.lock().unwrap();
+        assert!(!g.closed, "push after close");
+        for (i, &z) in samples.iter().enumerate() {
+            let at = (g.write % self.cap as u64) as usize;
+            g.buf[at] = z;
+            g.unreliable[at] = unreliable.map(|m| m[i]).unwrap_or(false);
+            g.write += 1;
+        }
+        let floor = g.write.saturating_sub(self.cap as u64);
+        let newly_lost = floor.saturating_sub(g.read);
+        if newly_lost > 0 {
+            g.read = floor;
+            g.pending_lost += newly_lost;
+            g.lost += newly_lost;
+        }
+        drop(g);
+        self.data_ready.notify_one();
+        newly_lost
+    }
+
+    /// Block until samples are available (or the ring is closed), then
+    /// drain everything unread. Consumed samples are appended to `out` /
+    /// `unreliable`; positions the producer overwrote before this pull are
+    /// appended first as zeros flagged in *both* `unreliable` and `lost`,
+    /// so the reader's absolute sample indexing never skews. Returns the
+    /// number of samples appended — 0 only when closed and fully drained.
+    pub fn pull(
+        &self,
+        out: &mut Vec<C64>,
+        unreliable: &mut Vec<bool>,
+        lost: &mut Vec<bool>,
+    ) -> usize {
+        let mut g = self.state.lock().unwrap();
+        loop {
+            let n = g.pending_lost as usize + (g.write - g.read) as usize;
+            if n > 0 {
+                for _ in 0..g.pending_lost {
+                    out.push(C64::new(0.0, 0.0));
+                    unreliable.push(true);
+                    lost.push(true);
+                }
+                g.pending_lost = 0;
+                for pos in g.read..g.write {
+                    let at = (pos % self.cap as u64) as usize;
+                    out.push(g.buf[at]);
+                    unreliable.push(g.unreliable[at]);
+                    lost.push(false);
+                }
+                g.read = g.write;
+                return n;
+            }
+            if g.closed {
+                return 0;
+            }
+            g = self.data_ready.wait(g).unwrap();
+        }
+    }
+
+    /// Signal end of input: a draining reader sees remaining samples, then
+    /// exhaustion.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.data_ready.notify_all();
+    }
+
+    /// Aggregate push/loss counters.
+    pub fn stats(&self) -> RingStats {
+        let g = self.state.lock().unwrap();
+        RingStats {
+            pushed: g.write,
+            lost: g.lost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z(re: f64) -> C64 {
+        C64::new(re, 0.0)
+    }
+
+    #[test]
+    fn lossless_round_trip_below_capacity() {
+        let ring = SampleRing::new(8);
+        let samples: Vec<C64> = (0..6).map(|i| z(i as f64)).collect();
+        let mask = vec![false, true, false, false, true, false];
+        assert_eq!(ring.push(&samples, Some(&mask)), 0);
+        let (mut out, mut unrel, mut lost) = (Vec::new(), Vec::new(), Vec::new());
+        assert_eq!(ring.pull(&mut out, &mut unrel, &mut lost), 6);
+        assert_eq!(out, samples);
+        assert_eq!(unrel, mask);
+        assert!(lost.iter().all(|&b| !b));
+        assert_eq!(ring.stats(), RingStats { pushed: 6, lost: 0 });
+    }
+
+    #[test]
+    fn overrun_delivers_placeholders_then_survivors() {
+        let ring = SampleRing::new(4);
+        let samples: Vec<C64> = (0..10).map(|i| z(i as f64)).collect();
+        // 10 samples through a 4-deep ring with no reader: the oldest 6
+        // die, but the reader still sees a 10-sample stream — 6 zeroed
+        // placeholders, then the 4 survivors — so alignment never skews.
+        assert_eq!(ring.push(&samples, None), 6);
+        let (mut out, mut unrel, mut lost) = (Vec::new(), Vec::new(), Vec::new());
+        assert_eq!(ring.pull(&mut out, &mut unrel, &mut lost), 10);
+        assert!(out[..6].iter().all(|&s| s == z(0.0)));
+        assert_eq!(&out[6..], &samples[6..]);
+        assert!(unrel[..6].iter().all(|&b| b) && lost[..6].iter().all(|&b| b));
+        assert!(!unrel[6..].iter().any(|&b| b) && !lost[6..].iter().any(|&b| b));
+        assert_eq!(
+            ring.stats(),
+            RingStats {
+                pushed: 10,
+                lost: 6
+            }
+        );
+    }
+
+    #[test]
+    fn repeated_overruns_accumulate_contiguous_placeholders() {
+        let ring = SampleRing::new(2);
+        ring.push(&[z(0.0), z(1.0), z(2.0)], None); // loses sample 0
+        ring.push(&[z(3.0)], None); // loses sample 1
+        let (mut out, mut unrel, mut lost) = (Vec::new(), Vec::new(), Vec::new());
+        assert_eq!(ring.pull(&mut out, &mut unrel, &mut lost), 4);
+        assert_eq!(lost, vec![true, true, false, false]);
+        assert_eq!(&out[2..], &[z(2.0), z(3.0)]);
+        assert_eq!(ring.stats().lost, 2);
+    }
+
+    #[test]
+    fn interleaved_pulls_keep_every_sample() {
+        let ring = SampleRing::new(4);
+        let mut got = Vec::new();
+        let (mut unrel, mut lost) = (Vec::new(), Vec::new());
+        for chunk in 0..5 {
+            let samples: Vec<C64> = (0..3).map(|i| z((chunk * 3 + i) as f64)).collect();
+            ring.push(&samples, None);
+            ring.pull(&mut got, &mut unrel, &mut lost);
+        }
+        let want: Vec<C64> = (0..15).map(|i| z(i as f64)).collect();
+        assert_eq!(got, want);
+        assert_eq!(ring.stats().lost, 0);
+    }
+
+    #[test]
+    fn close_then_pull_reports_exhaustion() {
+        let ring = SampleRing::new(4);
+        ring.push(&[z(1.0)], None);
+        ring.close();
+        let (mut out, mut unrel, mut lost) = (Vec::new(), Vec::new(), Vec::new());
+        assert_eq!(ring.pull(&mut out, &mut unrel, &mut lost), 1);
+        assert_eq!(ring.pull(&mut out, &mut unrel, &mut lost), 0);
+    }
+}

@@ -153,7 +153,14 @@ impl SweepStream {
     /// Which `(curve, x)` cells of `grid` are already present in the TSV at
     /// `path` — the resume filter: measure only the complement. A missing
     /// file means nothing is done yet.
-    pub fn completed(path: &Path, grid: &[GridPoint]) -> Vec<bool> {
+    ///
+    /// A cell only counts as done if its row would survive
+    /// [`Self::load`] — full column width and every field parsable. A row
+    /// torn *inside the record columns* (killed mid-write after the key
+    /// columns landed) still names a valid `(curve, x)`, but `load` will
+    /// skip it; counting it here would silently drop that point from the
+    /// resumed result set, so it must be re-measured instead.
+    pub fn completed<R: StreamRecord>(path: &Path, grid: &[GridPoint]) -> Vec<bool> {
         let done: std::collections::HashSet<(usize, u64)> = match File::open(path) {
             Ok(f) => BufReader::new(f)
                 .lines()
@@ -161,10 +168,15 @@ impl SweepStream {
                 .filter(|l| !l.starts_with('#') && !l.is_empty())
                 .filter_map(|l| {
                     let f: Vec<&str> = l.split('\t').collect();
-                    if f.len() < 5 {
+                    if f.len() < 5 + R::columns().len() {
                         return None;
                     }
-                    Some((f[0].parse().ok()?, u64::from_str_radix(f[3], 16).ok()?))
+                    let curve = f[0].parse::<usize>().ok()?;
+                    f[1].parse::<usize>().ok()?;
+                    u64::from_str_radix(f[2], 16).ok()?;
+                    let x_bits = u64::from_str_radix(f[3], 16).ok()?;
+                    R::parse(&f[5..])?;
+                    Some((curve, x_bits))
                 })
                 .collect(),
             Err(_) => return vec![false; grid.len()],

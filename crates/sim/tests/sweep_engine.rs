@@ -204,7 +204,9 @@ fn tsv_stream_roundtrips_bit_exact() {
     assert_eq!(loaded.len(), rows.len());
     assert_eq!(canon(&loaded), canon(&rows), "stream round-trip drifted");
     assert!(
-        SweepStream::completed(&path, &grid).iter().all(|&d| d),
+        SweepStream::completed::<BerOut>(&path, &grid)
+            .iter()
+            .all(|&d| d),
         "completed() missed streamed rows"
     );
 }
@@ -228,7 +230,7 @@ fn truncated_stream_resumes_by_measuring_the_complement() {
     bytes.extend_from_slice(b"1\t0\tdeadbeef"); // torn row, no newline
     std::fs::write(&path, bytes).unwrap();
 
-    let done = SweepStream::completed(&path, &grid);
+    let done = SweepStream::completed::<BerOut>(&path, &grid);
     assert_eq!(done, vec![true, false, false, false]);
 
     let remaining: Vec<GridPoint> = grid
@@ -245,6 +247,141 @@ fn truncated_stream_resumes_by_measuring_the_complement() {
 
     let resumed = SweepStream::load::<BerOut>(&path).unwrap();
     assert_eq!(canon(&resumed), canon(&full), "resumed run diverged");
+}
+
+/// Regression: a row killed mid-hex-field *after* its key columns landed
+/// still names a valid `(curve, x)`, so the old `completed()` (which only
+/// validated the five key columns) counted it done while `load` skipped
+/// it — the point silently vanished from the resumed result set. It must
+/// be re-measured instead.
+#[test]
+fn torn_row_inside_record_columns_is_remeasured_not_lost() {
+    let path = tmp_path("sweep_stream_torn_record.tsv");
+    let seed = 11;
+    let w = field_workload(2, 16, seed, FieldOracle::Fused);
+    let grid = field_grid(&[4.0, 8.0], seed);
+    let full = SweepEngine::new(seed).run(&w, grid.clone());
+
+    // Stream two complete rows, then tear the second inside its first
+    // record column: keys intact, record torn, no terminating newline.
+    let mut stream = SweepStream::create::<BerOut>(&path, StreamFormat::Tsv).unwrap();
+    stream.write_row(&full[0].0, &full[0].1).unwrap();
+    stream.write_row(&full[1].0, &full[1].1).unwrap();
+    drop(stream);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.trim_end().lines().collect();
+    let fields: Vec<&str> = lines[lines.len() - 1].split('\t').collect();
+    let torn = format!(
+        "{}\t{}",
+        fields[..5].join("\t"),
+        &fields[5][..fields[5].len() / 2] // half a hex ber_bits field
+    );
+    let kept = lines[..lines.len() - 1].join("\n");
+    std::fs::write(&path, format!("{kept}\n{torn}")).unwrap();
+
+    let done = SweepStream::completed::<BerOut>(&path, &grid);
+    assert_eq!(
+        done,
+        vec![true, false, false, false],
+        "a torn row must not count as completed"
+    );
+
+    let remaining: Vec<GridPoint> = grid
+        .iter()
+        .zip(&done)
+        .filter(|(_, &d)| !d)
+        .map(|(p, _)| *p)
+        .collect();
+    let mut stream = SweepStream::append(&path, StreamFormat::Tsv).unwrap();
+    SweepEngine::new(seed).run_streaming(&w, remaining, &mut |p, o| {
+        stream.write_row(p, o).unwrap();
+    });
+    drop(stream);
+    let resumed = SweepStream::load::<BerOut>(&path).unwrap();
+    assert_eq!(
+        canon(&resumed),
+        canon(&full),
+        "resumed set lost the torn point"
+    );
+}
+
+/// A file killed exactly at a tab separator (the torn row's last field is
+/// empty): the repair closes the line, `completed`/`load` agree it is not a
+/// row, and the resume re-measures it without double-counting anything.
+#[test]
+fn torn_row_ending_exactly_at_a_tab_resumes_cleanly() {
+    let path = tmp_path("sweep_stream_torn_tab.tsv");
+    let seed = 11;
+    let w = field_workload(2, 16, seed, FieldOracle::Fused);
+    let grid = field_grid(&[4.0, 8.0], seed);
+    let full = SweepEngine::new(seed).run(&w, grid.clone());
+
+    let mut stream = SweepStream::create::<BerOut>(&path, StreamFormat::Tsv).unwrap();
+    stream.write_row(&full[0].0, &full[0].1).unwrap();
+    drop(stream);
+    // Kill mid-write with the key columns complete and the cursor sitting
+    // right after a tab.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(b"1\t0\t000000000000000b\t");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let done = SweepStream::completed::<BerOut>(&path, &grid);
+    assert_eq!(done, vec![true, false, false, false]);
+
+    let remaining: Vec<GridPoint> = grid
+        .iter()
+        .zip(&done)
+        .filter(|(_, &d)| !d)
+        .map(|(p, _)| *p)
+        .collect();
+    let mut stream = SweepStream::append(&path, StreamFormat::Tsv).unwrap();
+    SweepEngine::new(seed).run_streaming(&w, remaining, &mut |p, o| {
+        stream.write_row(p, o).unwrap();
+    });
+    drop(stream);
+    let resumed = SweepStream::load::<BerOut>(&path).unwrap();
+    assert_eq!(
+        canon(&resumed),
+        canon(&full),
+        "resume after tab-torn row diverged"
+    );
+    // Exactly one row per grid point: nothing double-counted.
+    assert_eq!(resumed.len(), full.len());
+}
+
+/// A file killed while the header itself was being written (no rows, no
+/// newline): `completed` reports nothing done, `append` closes the torn
+/// header as its own comment line, and the resumed stream loads in full.
+#[test]
+fn torn_header_line_resumes_cleanly() {
+    let path = tmp_path("sweep_stream_torn_header.tsv");
+    let seed = 11;
+    let w = field_workload(2, 16, seed, FieldOracle::Fused);
+    let grid = field_grid(&[4.0, 8.0], seed);
+    let full = SweepEngine::new(seed).run(&w, grid.clone());
+
+    std::fs::write(&path, b"#curve\tround\tse").unwrap();
+    let done = SweepStream::completed::<BerOut>(&path, &grid);
+    assert_eq!(
+        done,
+        vec![false; 4],
+        "torn header must not complete anything"
+    );
+
+    let mut stream = SweepStream::append(&path, StreamFormat::Tsv).unwrap();
+    SweepEngine::new(seed).run_streaming(&w, grid, &mut |p, o| {
+        stream.write_row(p, o).unwrap();
+    });
+    drop(stream);
+    let resumed = SweepStream::load::<BerOut>(&path).unwrap();
+    assert_eq!(
+        canon(&resumed),
+        canon(&full),
+        "resume after torn header diverged"
+    );
+    // The torn header stayed on its own line; the first data row is intact.
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.starts_with("#curve\tround\tse\n"), "header not closed");
 }
 
 /// JSON-lines streaming emits one well-formed object per row.

@@ -47,5 +47,9 @@ pub use retroturbo_mac as mac;
 /// Polarization optics: Malus's law, the doubled-angle constellation space,
 /// retroreflector geometry.
 pub use retroturbo_optics as optics;
+/// Streaming decode service: staged pipeline from a sample ring to
+/// recovered frames, with bounded queues, a persistent worker pool, and
+/// overload degradation (see DESIGN.md §14).
+pub use retroturbo_service as service;
 /// End-to-end simulation and the per-figure experiment drivers.
 pub use retroturbo_sim as sim;

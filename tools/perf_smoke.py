@@ -1,21 +1,24 @@
 #!/usr/bin/env python3
-"""Warn-only perf smoke report over BENCH_kernels.json and BENCH_sweeps.json.
+"""Warn-only perf smoke report over the committed BENCH_*.json files.
 
 Prints a table of every kernel row (ns/iter, ns/symbol, ns/point, threads,
 speedup) and flags optimized/reference pairs whose speedup fell below an
 advisory floor. If a sweep benchmark file is present (second argument, or
 `BENCH_sweeps.json` next to the kernels file), its per-sweep mode table is
-printed too, with its own advisory floors. Shared CI runners are far too
-noisy for a hard perf gate, so this script NEVER fails on timing:
-correctness gating is the bench binaries' own checksum-divergence exit
-(they return nonzero before this script runs if any optimized path's output
-diverges from its reference).
+printed too, with its own advisory floors; likewise a service benchmark
+file (third argument, or `BENCH_service.json` next to the kernels file)
+gets a throughput/latency table with packets-per-second floors and p99
+latency ceilings. Shared CI runners are far too noisy for a hard perf
+gate, so this script NEVER fails on timing: correctness gating is the
+bench binaries' own divergence exit (they return nonzero before this
+script runs if any optimized path's output diverges from its reference,
+or if the streaming service's frames diverge from ground truth).
 
 Exit status: 0 always, except when the kernels JSON file is missing or
-malformed (which means the bench step itself broke). A missing sweeps file
-is skipped silently; a malformed one warns.
+malformed (which means the bench step itself broke). Missing sweeps or
+service files are skipped silently; malformed ones warn.
 
-Usage: tools/perf_smoke.py [BENCH_kernels.json] [BENCH_sweeps.json]
+Usage: tools/perf_smoke.py [BENCH_kernels.json] [BENCH_sweeps.json] [BENCH_service.json]
 """
 
 import json
@@ -48,6 +51,18 @@ ADVISORY_FLOORS = {
 SWEEP_ADVISORY_FLOORS = {
     ("fig16a_quick", "engine_cached"): 3.0,
     ("fig16a_full", "engine_cached"): 3.0,
+}
+
+# Advisory bounds for BENCH_service.json saturation rows, keyed by worker
+# count: (packets_per_sec floor, p99 latency ceiling in ms). Local release
+# runs sustain ~550-670 pps with p99 under 5 ms, so these carry an order
+# of magnitude of headroom for shared-runner noise and debug-adjacent CI
+# hosts. The overload row is reported but never floored — its throughput
+# is intentionally starved.
+SERVICE_ADVISORY_BOUNDS = {
+    1: (50.0, 100.0),
+    2: (50.0, 100.0),
+    8: (50.0, 100.0),
 }
 
 
@@ -144,17 +159,69 @@ def report_sweeps(path):
     return warnings
 
 
+def report_service(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError:
+        return []  # no service benchmark in this run
+    except ValueError as e:
+        return [f"perf-smoke: WARNING: cannot parse {path}: {e}"]
+
+    print()
+    print_meta(data.get("meta", {}) if isinstance(data, dict) else {})
+    rows = data.get("service", []) if isinstance(data, dict) else data
+    header = (
+        f"{'scenario':<12} {'wrk':>4} {'in':>5} {'dec':>5} {'deg':>5} "
+        f"{'drop':>5} {'pkts/s':>9} {'p50_ms':>8} {'p99_ms':>8} {'lost':>9} {'equiv':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    warnings = []
+    for r in rows:
+        print(
+            f"{r.get('scenario', '?'):<12} {r.get('workers', 0):>4} "
+            f"{r.get('frames_in', 0):>5} {r.get('frames_decoded', 0):>5} "
+            f"{r.get('frames_degraded', 0):>5} {r.get('frames_dropped', 0):>5} "
+            f"{r.get('packets_per_sec', 0.0):>9.1f} {r.get('p50_ms', 0.0):>8.3f} "
+            f"{r.get('p99_ms', 0.0):>8.3f} {r.get('samples_lost', 0):>9} "
+            f"{str(r.get('equivalent', '?')):>6}"
+        )
+        if r.get("scenario") != "saturation":
+            continue
+        bounds = SERVICE_ADVISORY_BOUNDS.get(r.get("workers"))
+        if bounds is None:
+            continue
+        pps_floor, p99_ceiling = bounds
+        if r.get("packets_per_sec", 0.0) < pps_floor:
+            warnings.append(
+                f"perf-smoke: WARNING: service saturation@{r.get('workers')} "
+                f"{r.get('packets_per_sec', 0.0):.1f} pkts/s below advisory "
+                f"floor {pps_floor:.0f} (warn-only; runner noise is expected)"
+            )
+        if r.get("p99_ms", 0.0) > p99_ceiling:
+            warnings.append(
+                f"perf-smoke: WARNING: service saturation@{r.get('workers')} "
+                f"p99 {r.get('p99_ms', 0.0):.1f} ms above advisory ceiling "
+                f"{p99_ceiling:.0f} ms (warn-only; runner noise is expected)"
+            )
+    return warnings
+
+
 def main() -> int:
     kernels_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
+    bench_dir = os.path.dirname(kernels_path) or "."
     sweeps_path = (
-        sys.argv[2]
-        if len(sys.argv) > 2
-        else os.path.join(os.path.dirname(kernels_path) or ".", "BENCH_sweeps.json")
+        sys.argv[2] if len(sys.argv) > 2 else os.path.join(bench_dir, "BENCH_sweeps.json")
+    )
+    service_path = (
+        sys.argv[3] if len(sys.argv) > 3 else os.path.join(bench_dir, "BENCH_service.json")
     )
     status, warnings = report_kernels(kernels_path)
     if status != 0:
         return status
     warnings += report_sweeps(sweeps_path)
+    warnings += report_service(service_path)
     print()
     for w in warnings:
         print(w)
