@@ -20,4 +20,7 @@ pub use arq::{
 };
 pub use discovery::{discover, DiscoveryOutcome};
 pub use rate_table::{CodingChoice, RateOption, RateTable};
-pub use tdma::{build_superframe, mean_throughput, ScheduledSlot, TagAssignment};
+pub use tdma::{
+    apportion_frames, build_superframe, build_weighted_superframe, mean_throughput, ScheduledSlot,
+    TagAssignment,
+};

@@ -52,6 +52,86 @@ pub fn build_superframe(
     (slots, t)
 }
 
+/// Apportion `total` uplink frames across tags proportionally to `weights`
+/// using the largest-remainder method: each tag gets `⌊total·wᵢ/Σw⌋` frames,
+/// and the leftover frames go to the largest fractional remainders (ties
+/// broken toward the lower index). Weights must be finite and non-negative
+/// with a positive sum; the result always sums to exactly `total`, and a
+/// strictly larger weight never receives fewer frames.
+///
+/// # Panics
+/// Panics on an empty weight vector, a non-finite or negative weight, or an
+/// all-zero weight vector.
+pub fn apportion_frames(weights: &[f64], total: usize) -> Vec<usize> {
+    assert!(!weights.is_empty(), "apportion_frames: no weights");
+    let sum: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "apportion_frames: weight {w} must be finite and >= 0"
+            );
+            w
+        })
+        .sum();
+    assert!(sum > 0.0, "apportion_frames: weights sum to zero");
+    let mut counts: Vec<usize> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let quota = total as f64 * w / sum;
+        let floor = quota.floor() as usize;
+        counts.push(floor);
+        assigned += floor;
+        remainders.push((quota - floor as f64, i));
+    }
+    // Largest remainder first; equal remainders favour the lower index.
+    remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in remainders.iter().take(total.saturating_sub(assigned)) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// Build a priority-weighted TDMA super-frame: `total_frames` uplink slots
+/// are apportioned across tags by [`apportion_frames`], then laid out
+/// round-robin (one frame per still-owed tag per pass, in tag order) so a
+/// heavily weighted tag does not monopolise the head of the super-frame.
+/// Each slot carries `payload_bits` at its tag's rate plus `guard` seconds.
+/// Returns the schedule and the super-frame duration.
+pub fn build_weighted_superframe(
+    tags: &[TagAssignment],
+    payload_bits: usize,
+    guard: f64,
+    weights: &[f64],
+    total_frames: usize,
+) -> (Vec<ScheduledSlot>, f64) {
+    assert_eq!(
+        tags.len(),
+        weights.len(),
+        "build_weighted_superframe: tags/weights length mismatch"
+    );
+    let mut owed = apportion_frames(weights, total_frames);
+    let mut t = 0.0;
+    let mut slots = Vec::with_capacity(total_frames);
+    while slots.len() < total_frames {
+        for (tag, owe) in tags.iter().zip(owed.iter_mut()) {
+            if *owe == 0 {
+                continue;
+            }
+            *owe -= 1;
+            let airtime = payload_bits as f64 / tag.rate.goodput();
+            slots.push(ScheduledSlot {
+                tag_id: tag.id,
+                start: t,
+                duration: airtime,
+            });
+            t += airtime + guard;
+        }
+    }
+    (slots, t)
+}
+
 /// Mean per-tag goodput over a super-frame where every tag delivers
 /// `payload_bits` (assuming its operating point holds): total delivered bits
 /// divided by tags and super-frame duration.
@@ -113,5 +193,52 @@ mod tests {
     #[test]
     fn empty_network_zero() {
         assert_eq!(mean_throughput(&[], 100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn apportion_sums_and_follows_weights() {
+        let counts = apportion_frames(&[3.0, 1.0], 8);
+        assert_eq!(counts, vec![6, 2]);
+        let counts = apportion_frames(&[1.0, 1.0, 1.0], 10);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        // Equal weights: the odd frame goes to the lowest index.
+        assert_eq!(counts, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn apportion_zero_weight_tag_gets_nothing() {
+        assert_eq!(apportion_frames(&[0.0, 1.0], 5), vec![0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn apportion_rejects_all_zero_weights() {
+        let _ = apportion_frames(&[0.0, 0.0], 4);
+    }
+
+    #[test]
+    fn weighted_superframe_interleaves_and_respects_counts() {
+        let tags = vec![tag(1, 60.0), tag(2, 30.0)];
+        let (slots, dur) = build_weighted_superframe(&tags, 1024, 1e-3, &[3.0, 1.0], 4);
+        assert_eq!(slots.len(), 4);
+        let c1 = slots.iter().filter(|s| s.tag_id == 1).count();
+        let c2 = slots.iter().filter(|s| s.tag_id == 2).count();
+        assert_eq!((c1, c2), (3, 1));
+        // Round-robin layout: tag 2's single frame sits in the first pass.
+        assert_eq!(slots[1].tag_id, 2);
+        for w in slots.windows(2) {
+            assert!(w[0].start + w[0].duration <= w[1].start + 1e-12);
+        }
+        let last = slots.last().unwrap();
+        assert!(last.start + last.duration <= dur);
+    }
+
+    #[test]
+    fn weighted_superframe_equal_weights_matches_flat_counts() {
+        let tags = vec![tag(1, 60.0), tag(2, 30.0), tag(3, 10.0)];
+        let (slots, _) = build_weighted_superframe(&tags, 512, 0.0, &[1.0, 1.0, 1.0], 6);
+        for id in 1..=3u32 {
+            assert_eq!(slots.iter().filter(|s| s.tag_id == id).count(), 2);
+        }
     }
 }

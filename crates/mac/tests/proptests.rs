@@ -1,7 +1,36 @@
 //! Property tests for the MAC.
 
 use proptest::prelude::*;
-use retroturbo_mac::{discover, protect, protected_bits, recover, CodingChoice, RateTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retroturbo_mac::{
+    apportion_frames, build_superframe, build_weighted_superframe, discover, protect,
+    protected_bits, recover, CodingChoice, RateTable, TagAssignment,
+};
+
+fn tag(id: u32, snr_db: f64) -> TagAssignment {
+    let table = RateTable::profiled_default();
+    TagAssignment {
+        id,
+        snr_db,
+        rate: table.select(snr_db, 0.0),
+    }
+}
+
+/// Seeded Fisher–Yates permutation of `0..n`.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+fn permuted<T: Clone>(xs: &[T], perm: &[usize]) -> Vec<T> {
+    perm.iter().map(|&i| xs[i].clone()).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -47,5 +76,174 @@ proptest! {
         let g_lo = t.select(snr_lo, 0.0).goodput();
         let g_hi = t.select(snr_lo + d, 0.0).goodput();
         prop_assert!(g_hi >= g_lo);
+    }
+
+    #[test]
+    fn apportion_conserves_frames_and_respects_weight_order(
+        weights in collection::vec(0.0f64..50.0, 1..9),
+        total in 0usize..200,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let counts = apportion_frames(&weights, total);
+        prop_assert_eq!(counts.iter().sum::<usize>(), total);
+        for i in 0..weights.len() {
+            // A tag with zero priority never takes airtime from the others.
+            if weights[i] == 0.0 {
+                prop_assert_eq!(counts[i], 0);
+            }
+            for j in 0..weights.len() {
+                if weights[i] > weights[j] {
+                    prop_assert!(
+                        counts[i] >= counts[j],
+                        "weight {} > {} but frames {} < {}",
+                        weights[i], weights[j], counts[i], counts[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apportion_is_permutation_equivariant(
+        weights in collection::vec(0.1f64..50.0, 2..9),
+        total in 1usize..100,
+        pseed in any::<u64>(),
+    ) {
+        // The largest-remainder tie-break is index-order-dependent by
+        // construction; the equivariance claim only holds when no two
+        // fractional remainders tie, which is generic for continuous draws.
+        let sum: f64 = weights.iter().sum();
+        let fracs: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                let q = total as f64 * w / sum;
+                q - q.floor()
+            })
+            .collect();
+        let mut distinct = true;
+        for i in 0..fracs.len() {
+            for j in i + 1..fracs.len() {
+                if (fracs[i] - fracs[j]).abs() < 1e-9 {
+                    distinct = false;
+                }
+            }
+        }
+        prop_assume!(distinct);
+        let perm = permutation(weights.len(), pseed);
+        let direct = apportion_frames(&permuted(&weights, &perm), total);
+        let expected = permuted(&apportion_frames(&weights, total), &perm);
+        prop_assert_eq!(direct, expected);
+    }
+
+    #[test]
+    fn superframe_assignment_is_permutation_invariant(
+        snrs in collection::vec(-10.0f64..65.0, 1..8),
+        payload_bits in 64usize..4096,
+        guard in 0.0f64..1e-2,
+        pseed in any::<u64>(),
+    ) {
+        let tags: Vec<TagAssignment> =
+            snrs.iter().enumerate().map(|(i, &s)| tag(i as u32, s)).collect();
+        let (slots, dur) = build_superframe(&tags, payload_bits, guard);
+        // One slot per tag, in registration order, back-to-back.
+        prop_assert_eq!(slots.len(), tags.len());
+        for (slot, t) in slots.iter().zip(&tags) {
+            prop_assert_eq!(slot.tag_id, t.id);
+        }
+        for w in slots.windows(2) {
+            prop_assert!(w[0].start + w[0].duration <= w[1].start + 1e-12);
+        }
+        let last = slots.last().unwrap();
+        prop_assert!(last.start + last.duration <= dur + 1e-12);
+
+        // Re-registering the fleet in any order permutes the schedule but
+        // leaves every tag's airtime and the super-frame length unchanged.
+        let perm = permutation(tags.len(), pseed);
+        let (slots_p, dur_p) = build_superframe(&permuted(&tags, &perm), payload_bits, guard);
+        let airtime = |slots: &[retroturbo_mac::ScheduledSlot]| -> Vec<(u32, u64)> {
+            let mut a: Vec<(u32, u64)> = slots
+                .iter()
+                .map(|s| (s.tag_id, s.duration.to_bits()))
+                .collect();
+            a.sort_unstable();
+            a
+        };
+        prop_assert_eq!(airtime(&slots), airtime(&slots_p));
+        prop_assert!((dur - dur_p).abs() <= 1e-9 * dur.abs().max(1.0));
+    }
+
+    #[test]
+    fn weighted_superframe_never_double_books(
+        fleet in collection::vec((-10.0f64..65.0, 0.0f64..10.0), 1..8),
+        payload_bits in 64usize..4096,
+        guard in 0.0f64..1e-2,
+        total_frames in 1usize..40,
+    ) {
+        let weights: Vec<f64> = fleet.iter().map(|&(_, w)| w).collect();
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let tags: Vec<TagAssignment> = fleet
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, _))| tag(i as u32, s))
+            .collect();
+        let (slots, dur) =
+            build_weighted_superframe(&tags, payload_bits, guard, &weights, total_frames);
+        prop_assert_eq!(slots.len(), total_frames);
+        // Chronological and collision-free: no two slots overlap in time.
+        for w in slots.windows(2) {
+            prop_assert!(
+                w[0].start + w[0].duration <= w[1].start + 1e-12,
+                "slots double-booked: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        let last = slots.last().unwrap();
+        prop_assert!(last.start + last.duration <= dur + 1e-12);
+        // The layout delivers exactly the apportioned frame counts.
+        let owed = apportion_frames(&weights, total_frames);
+        for (i, t) in tags.iter().enumerate() {
+            let got = slots.iter().filter(|s| s.tag_id == t.id).count();
+            prop_assert_eq!(got, owed[i], "tag {} frame count", t.id);
+        }
+    }
+
+    #[test]
+    fn discovery_converges_under_seeded_tag_churn(
+        n0 in 1usize..40,
+        window in 1usize..16,
+        churn_rounds in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<u32> = (0..n0 as u32).collect();
+        let mut next_id = n0 as u32;
+        for step in 0..churn_rounds as u64 {
+            // Churn the population: ~a quarter of the tags leave the FoV,
+            // a few new ones arrive.
+            ids.retain(|_| rng.gen_range(0..4usize) != 0);
+            for _ in 0..rng.gen_range(0..8usize) {
+                ids.push(next_id);
+                next_id += 1;
+            }
+            if ids.is_empty() {
+                ids.push(next_id);
+                next_id += 1;
+            }
+            let round_seed = seed ^ (step.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let out = discover(&ids, window, 50_000, round_seed);
+            // Convergence: every present tag discovered, none invented,
+            // none double-booked.
+            let mut got = out.order.clone();
+            got.sort_unstable();
+            let mut want = ids.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "step {}: discovery did not converge", step);
+            // Accounting: at least one inventory round was paid for, and
+            // the airtime covers the initial window.
+            prop_assert!(out.rounds >= 1);
+            prop_assert!(out.slots_used >= window);
+            // Determinism: the same churned population and seed reproduce
+            // the exchange exactly.
+            prop_assert_eq!(out, discover(&ids, window, 50_000, round_seed));
+        }
     }
 }

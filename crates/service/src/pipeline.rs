@@ -578,6 +578,25 @@ fn run_framer(
 
                     if (flagged as f64) > cfg.max_lost_fraction * frame_len as f64 {
                         emit_drop(out, stats, seq, abs_offset, DropReason::Overrun);
+                        seq += 1;
+                        // Recovery re-scan. When the detection itself sits on
+                        // unreliable samples it is likely spurious — garbage
+                        // inside an outage span that happened to correlate.
+                        // Skipping a whole frame body from here would shadow
+                        // a real preamble starting right after the outage, so
+                        // advance only past the contiguous flagged run and
+                        // resume scanning. A detection on clean samples (a
+                        // real preamble whose body got clobbered) still skips
+                        // the full frame. The `max` keeps progress strictly
+                        // monotone: refinement can pull a hit back to
+                        // `pos - lead`, and a bare `abs_offset + spt` could
+                        // otherwise re-propose the same scan position forever.
+                        let advance = if frame_span.first() == Some(&true) {
+                            frame_span.iter().take_while(|&&b| b).count().max(spt)
+                        } else {
+                            frame_len
+                        };
+                        pos = (abs_offset + advance as u64).max(pos + spt as u64);
                     } else {
                         let task = FrameTask {
                             seq,
@@ -592,11 +611,11 @@ fn run_framer(
                             Ok(depth) => stats.lock().unwrap().frame_queue_depth.record(depth),
                             Err(_) => break 'stream,
                         }
+                        seq += 1;
+                        // Skip the frame body: the next preamble cannot
+                        // start inside it.
+                        pos = abs_offset + frame_len as u64;
                     }
-                    seq += 1;
-                    // Skip the frame body: the next preamble cannot start
-                    // inside it.
-                    pos = abs_offset + frame_len as u64;
                 }
             }
 

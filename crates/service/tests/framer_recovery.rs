@@ -1,0 +1,92 @@
+//! Regression test for the framer's recovery re-scan (PR 8 known bug).
+//!
+//! A spurious detection inside an outage span used to make the framer skip
+//! a whole frame body from the bogus hit, shadowing the next *real*
+//! preamble that started inside the skipped range: the drop was reported,
+//! but the following genuine frame silently vanished. The framer now
+//! advances only past the contiguous unreliable run when the detection
+//! itself sits on flagged samples, then resumes scanning.
+
+use retroturbo_core::Receiver;
+use retroturbo_lcm::LcParams;
+use retroturbo_mac::CodingChoice;
+use retroturbo_service::{loopback_phy, DecodeService, ServiceEvent, Testbed};
+
+const CODING: CodingChoice = CodingChoice { n: 44, k: 22 };
+const SCRAMBLE: u8 = 0x5B;
+const PAYLOAD_LEN: usize = 20;
+const RUN_SEED: u64 = 0xD5;
+
+/// A flagged fragment containing a real-looking preamble (the outage junk)
+/// is dropped as an overrun — and the genuine frame whose preamble starts
+/// *inside* the range the framer used to skip is still decoded.
+#[test]
+fn spurious_hit_in_outage_does_not_shadow_next_preamble() {
+    let bed = Testbed::new(loopback_phy(2, 4), PAYLOAD_LEN, Some(CODING), SCRAMBLE)
+        .with_snr(f64::INFINITY);
+    let cfg = *bed.phy();
+    let spt = cfg.samples_per_slot();
+    let scene_a = bed.frame(0, RUN_SEED);
+    let scene_b = bed.frame(1, RUN_SEED);
+    let rx = Receiver::new_cached(cfg, &LcParams::default(), 1);
+    let frame_len = rx.frame_slots(scene_a.bits.len()) * spt;
+    let pad = scene_a.offset;
+
+    // The outage junk: scene A's pad + preamble + 60 % of its frame body,
+    // every sample flagged unreliable by the producer (front-end outage).
+    // The preamble correlates like the real thing, and the flagged span
+    // (60 % > the 50 % overrun threshold) forces an Overrun drop.
+    let cut = frame_len * 6 / 10;
+    let junk = &scene_a.samples[..pad + cut];
+
+    // Place scene B so its preamble starts inside the frame body the old
+    // framer skipped after the drop: at `junk_hit + frame_len − 2·spt`.
+    let gap = frame_len
+        .checked_sub(2 * spt + cut + pad)
+        .expect("geometry: outage cut leaves no room before the next frame");
+
+    let lead_in = 300usize;
+    let svc = DecodeService::spawn(bed.service_config());
+    let input = svc.input();
+    input.push(&bed.idle(lead_in), None);
+    input.push(junk, Some(&vec![true; junk.len()]));
+    input.push(&bed.idle(gap), None);
+    input.push(&scene_b.samples, None);
+    input.push(&bed.idle(2 * (pad + frame_len)), None);
+    input.close();
+
+    let mut events = Vec::new();
+    while let Some(ev) = svc.recv() {
+        events.push(ev);
+    }
+    let stats = svc.shutdown();
+
+    assert!(
+        stats.dropped_overrun >= 1,
+        "the flagged junk should surface as an overrun drop (events={events:?})"
+    );
+
+    let junk_hit = (lead_in + pad) as u64;
+    let b_preamble = junk_hit + (frame_len - 2 * spt) as u64;
+    let frames: Vec<_> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            ServiceEvent::Frame(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        frames.len(),
+        1,
+        "exactly the genuine frame should decode (events={events:?})"
+    );
+    assert_eq!(
+        frames[0].offset, b_preamble,
+        "the genuine frame decoded at the wrong offset"
+    );
+    assert_eq!(
+        frames[0].payload,
+        bed.payload_for(1),
+        "the genuine frame recovered the wrong payload"
+    );
+}

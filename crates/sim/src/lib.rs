@@ -12,6 +12,7 @@
 
 pub mod emulation;
 pub mod experiments;
+pub mod fleet;
 pub mod frontend;
 pub mod impairments;
 pub mod link;
@@ -21,6 +22,7 @@ pub mod scene;
 pub mod sweep;
 
 pub use emulation::EmulatedLink;
+pub use fleet::{CaptureRule, FleetConfig, FleetReport, FleetSweep};
 pub use frontend::{AmbientInjection, Frontend};
 pub use impairments::{ImpairedLink, ImpairmentConfig, ImpairmentReport};
 pub use link::{LinkSimulator, PacketOutcome};

@@ -8,17 +8,20 @@ advisory floor. If a sweep benchmark file is present (second argument, or
 printed too, with its own advisory floors; likewise a service benchmark
 file (third argument, or `BENCH_service.json` next to the kernels file)
 gets a throughput/latency table with packets-per-second floors and p99
-latency ceilings. Shared CI runners are far too noisy for a hard perf
+latency ceilings, and a fleet benchmark file (fourth argument, or
+`BENCH_fleet.json`) a goodput/fairness table with session-throughput and
+delivery-rate floors. Shared CI runners are far too noisy for a hard perf
 gate, so this script NEVER fails on timing: correctness gating is the
 bench binaries' own divergence exit (they return nonzero before this
 script runs if any optimized path's output diverges from its reference,
-or if the streaming service's frames diverge from ground truth).
+if the streaming service's frames diverge from ground truth, or if the
+fleet aggregate diverges across thread counts).
 
 Exit status: 0 always, except when the kernels JSON file is missing or
-malformed (which means the bench step itself broke). Missing sweeps or
-service files are skipped silently; malformed ones warn.
+malformed (which means the bench step itself broke). Missing sweeps,
+service, or fleet files are skipped silently; malformed ones warn.
 
-Usage: tools/perf_smoke.py [BENCH_kernels.json] [BENCH_sweeps.json] [BENCH_service.json]
+Usage: tools/perf_smoke.py [BENCH_kernels.json] [BENCH_sweeps.json] [BENCH_service.json] [BENCH_fleet.json]
 """
 
 import json
@@ -63,6 +66,18 @@ SERVICE_ADVISORY_BOUNDS = {
     1: (50.0, 100.0),
     2: (50.0, 100.0),
     8: (50.0, 100.0),
+}
+
+# Advisory bounds for BENCH_fleet.json rows, keyed by fleet size:
+# (sessions_per_sec floor, delivery_rate floor). Local release runs
+# sustain 2000-8000 sessions/s with ~98 % delivery, so the throughput
+# floors carry an order of magnitude of headroom for shared-runner noise;
+# the delivery floor is a scenario-health check (the default fleet should
+# never lose half its traffic), not a perf number.
+FLEET_ADVISORY_BOUNDS = {
+    2: (200.0, 0.8),
+    4: (100.0, 0.8),
+    8: (50.0, 0.8),
 }
 
 
@@ -208,6 +223,56 @@ def report_service(path):
     return warnings
 
 
+def report_fleet(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError:
+        return []  # no fleet benchmark in this run
+    except ValueError as e:
+        return [f"perf-smoke: WARNING: cannot parse {path}: {e}"]
+
+    print()
+    print_meta(data.get("meta", {}) if isinstance(data, dict) else {})
+    rows = data.get("fleet", []) if isinstance(data, dict) else data
+    header = (
+        f"{'tags':>4} {'sessions':>8} {'sess/s':>9} {'gp_p50':>9} {'gp_p90':>9} "
+        f"{'gp_p99':>9} {'fair_p10':>8} {'fair_p50':>8} {'lat_p99':>8} "
+        f"{'deliv':>6} {'att':>5} {'equiv':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    warnings = []
+    for r in rows:
+        print(
+            f"{r.get('tags', 0):>4} {r.get('sessions', 0):>8} "
+            f"{r.get('sessions_per_sec', 0.0):>9.1f} "
+            f"{r.get('sum_goodput_p50_bps', 0.0):>9.1f} "
+            f"{r.get('sum_goodput_p90_bps', 0.0):>9.1f} "
+            f"{r.get('sum_goodput_p99_bps', 0.0):>9.1f} "
+            f"{r.get('fairness_p10', 0.0):>8.4f} {r.get('fairness_p50', 0.0):>8.4f} "
+            f"{r.get('latency_p99_s', 0.0):>8.4f} {r.get('delivery_rate', 0.0):>6.4f} "
+            f"{r.get('mean_attempts', 0.0):>5.2f} {str(r.get('equivalent', '?')):>6}"
+        )
+        bounds = FLEET_ADVISORY_BOUNDS.get(r.get("tags"))
+        if bounds is None:
+            continue
+        sps_floor, delivery_floor = bounds
+        if r.get("sessions_per_sec", 0.0) < sps_floor:
+            warnings.append(
+                f"perf-smoke: WARNING: fleet@{r.get('tags')} "
+                f"{r.get('sessions_per_sec', 0.0):.1f} sessions/s below advisory "
+                f"floor {sps_floor:.0f} (warn-only; runner noise is expected)"
+            )
+        if r.get("delivery_rate", 0.0) < delivery_floor:
+            warnings.append(
+                f"perf-smoke: WARNING: fleet@{r.get('tags')} delivery rate "
+                f"{r.get('delivery_rate', 0.0):.3f} below advisory floor "
+                f"{delivery_floor:.2f} (warn-only; scenario health check)"
+            )
+    return warnings
+
+
 def main() -> int:
     kernels_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
     bench_dir = os.path.dirname(kernels_path) or "."
@@ -217,11 +282,15 @@ def main() -> int:
     service_path = (
         sys.argv[3] if len(sys.argv) > 3 else os.path.join(bench_dir, "BENCH_service.json")
     )
+    fleet_path = (
+        sys.argv[4] if len(sys.argv) > 4 else os.path.join(bench_dir, "BENCH_fleet.json")
+    )
     status, warnings = report_kernels(kernels_path)
     if status != 0:
         return status
     warnings += report_sweeps(sweeps_path)
     warnings += report_service(service_path)
+    warnings += report_fleet(fleet_path)
     print()
     for w in warnings:
         print(w)
